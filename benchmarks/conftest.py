@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks measure how long each paper artefact (table/figure) takes to
+regenerate on a prepared study.  The expensive, shared stages — world
+generation, data-source merging, the measurement campaigns and the inference
+pipeline — are computed once per session so that each benchmark isolates the
+cost of its own experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.study import RemotePeeringStudy
+
+
+@pytest.fixture(scope="session")
+def study() -> RemotePeeringStudy:
+    """One shared, fully materialised study used by every benchmark."""
+    prepared = RemotePeeringStudy(ExperimentConfig.small(seed=11))
+    # Materialise the cached stages up front so benchmarks measure only the
+    # per-experiment work.
+    prepared.outcome
+    prepared.validation
+    return prepared
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

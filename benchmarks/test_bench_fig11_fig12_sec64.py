@@ -1,0 +1,28 @@
+"""Benchmarks regenerating Fig. 11a/11b, Fig. 12a/12b and Section 6.4."""
+
+from repro.experiments import fig11, fig12, sec64
+
+
+def test_bench_fig11a_customer_cones(run_once, study):
+    result = run_once(fig11.run_fig11a, study)
+    assert result.headline["local_share"] > 0.0
+
+
+def test_bench_fig11b_traffic_levels(run_once, study):
+    result = run_once(fig11.run_fig11b, study)
+    assert len(result.rows) == 3
+
+
+def test_bench_fig12a_rp_evolution(run_once, study):
+    result = run_once(fig12.run_fig12a, study)
+    assert result.headline["remote_to_local_growth_ratio"] > 1.0
+
+
+def test_bench_fig12b_traceroute_rtt_comparison(run_once, study):
+    result = run_once(fig12.run_fig12b, study)
+    assert result.headline["interfaces_compared"] >= 0
+
+
+def test_bench_sec64_routing_implications(run_once, study):
+    result = run_once(sec64.run, study, max_pairs=400)
+    assert result.headline["pairs_probed"] >= 0

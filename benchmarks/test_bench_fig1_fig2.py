@@ -1,0 +1,23 @@
+"""Benchmarks regenerating Fig. 1a/1b and Fig. 2a/2b."""
+
+from repro.experiments import fig1, fig2
+
+
+def test_bench_fig1a_facility_distribution(run_once, study):
+    result = run_once(fig1.run_fig1a, study)
+    assert 0.0 < result.headline["ases_in_single_facility"] <= 1.0
+
+
+def test_bench_fig1b_control_rtt_ecdf(run_once, study):
+    result = run_once(fig1.run_fig1b, study)
+    assert result.headline["local_below_1ms"] > 0.8
+
+
+def test_bench_fig2a_wide_area_delay_matrix(run_once, study):
+    result = run_once(fig2.run_fig2a, study)
+    assert result.headline["facility_pairs"] > 0
+
+
+def test_bench_fig2b_wide_area_prevalence(run_once, study):
+    result = run_once(fig2.run_fig2b, study)
+    assert 0.0 < result.headline["wide_area_share"] < 1.0

@@ -1,0 +1,28 @@
+"""Benchmarks regenerating Fig. 4, 5, 6, 7 and 8."""
+
+from repro.experiments import fig4_fig5, fig6, fig7, fig8
+
+
+def test_bench_fig4_port_capacities(run_once, study):
+    result = run_once(fig4_fig5.run_fig4, study)
+    assert result.headline["local_on_fractional_ports"] == 0.0
+
+
+def test_bench_fig5_colocation_footprints(run_once, study):
+    result = run_once(fig4_fig5.run_fig5, study)
+    assert result.headline["remote_without_common_facility"] > 0.0
+
+
+def test_bench_fig6_delay_distance_bounds(run_once, study):
+    result = run_once(fig6.run, study)
+    assert result.headline["share_within_bounds"] > 0.9
+
+
+def test_bench_fig7_feasible_ring_example(run_once, study):
+    result = run_once(fig7.run, study)
+    assert result.headline["interfaces_analysed"] > 0
+
+
+def test_bench_fig8_per_ixp_validation(run_once, study):
+    result = run_once(fig8.run, study)
+    assert result.headline["mean_accuracy"] > 0.8

@@ -1,0 +1,33 @@
+"""Benchmarks regenerating Fig. 9a-9d and Fig. 10a/10b."""
+
+from repro.experiments import fig9, fig10
+
+
+def test_bench_fig9a_vantage_response_rates(run_once, study):
+    result = run_once(fig9.run_fig9a, study)
+    assert result.headline["usable_vps"] > 0
+
+
+def test_bench_fig9b_rtt_ecdf(run_once, study):
+    result = run_once(fig9.run_fig9b, study)
+    assert result.headline["responsive_interfaces"] > 0
+
+
+def test_bench_fig9c_feasible_facilities(run_once, study):
+    result = run_once(fig9.run_fig9c, study)
+    assert "remote_interfaces_without_feasible_facility" in result.headline
+
+
+def test_bench_fig9d_multi_ixp_routers(run_once, study):
+    result = run_once(fig9.run_fig9d, study)
+    assert result.headline["multi_ixp_routers"] >= 0
+
+
+def test_bench_fig10a_step_contributions(run_once, study):
+    result = run_once(fig10.run_fig10a, study)
+    assert result.headline["rtt_colocation"] > 0.0
+
+
+def test_bench_fig10b_inferences_per_ixp(run_once, study):
+    result = run_once(fig10.run_fig10b, study)
+    assert 0.0 < result.headline["overall_remote_share"] < 1.0

@@ -1,0 +1,27 @@
+"""Benchmarks regenerating the paper's tables (Tables 1, 2, 4 and 5)."""
+
+from repro.experiments import table1, table2, table4, table5
+
+
+def test_bench_table1_dataset_sources(run_once, study):
+    result = run_once(table1.run, study)
+    assert result.headline["total_ixp_interfaces"] > 0
+    assert len(result.rows) >= 4
+
+
+def test_bench_table2_validation_dataset(run_once, study):
+    result = run_once(table2.run, study)
+    assert result.headline["validated_peers"] > 0
+    assert result.rows[-1]["ixp"] == "Total"
+
+
+def test_bench_table4_step_validation(run_once, study):
+    result = run_once(table4.run, study)
+    assert result.headline["combined_accuracy"] > result.headline["baseline_accuracy"]
+    assert len(result.rows) == 6
+
+
+def test_bench_table5_ping_campaign(run_once, study):
+    result = run_once(table5.run, study)
+    assert result.headline["usable_vps"] > 0
+    assert result.rows[-1]["vp_type"] == "Total"

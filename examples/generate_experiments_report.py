@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: every paper table/figure vs the measured values.
+
+Runs all experiment modules against one study and writes a Markdown report
+with, per artefact, the paper's reported numbers, the values measured on the
+simulated substrate, and the full result table.
+
+Run with::
+
+    python examples/generate_experiments_report.py [--scale tiny|small|default]
+        [--seed 11] [--output EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro import ExperimentConfig, RemotePeeringStudy
+from repro.experiments import runner
+
+#: What the paper reports for each artefact (used in the comparison table).
+PAPER_EXPECTATIONS: dict[str, str] = {
+    "table1": "731 IXP prefixes / 31,690 interfaces; conflicts below 0.4% per source",
+    "table2": "15 validated IXPs (6 from operators, 9 from websites); 2,410 validated peers",
+    "fig1a": "~60% of ASes/IXPs in a single facility, ~5% in more than 10",
+    "fig1b": "99% of local peers < 1 ms; 18% of remote peers < 1 ms, 40% < 10 ms",
+    "fig2a": "87% of NET-IX facility pairs above 10 ms",
+    "fig2b": "14.4% of IXPs wide-area; 20% of the 50 largest",
+    "fig4": "~27% of remote peers on sub-1GE ports; no local peer below Cmin",
+    "fig5": "~95% of remote peers share no facility with the IXP; all local peers do",
+    "fig6": "delays bounded by v_max = 4/9 c and a logarithmic minimum-speed fit",
+    "fig7": "members local despite >2 ms RTTs at geographically distributed IXPs",
+    "table4": "combined ACC 94.5% / COV 93%; RTT-only baseline ACC 77% / COV 84%",
+    "fig8": "per-IXP accuracy consistently high; minimum ~91%",
+    "table5": "45 VPs; 10,578 interfaces queried, 73% responsive; 30 IXPs",
+    "fig9a": "LGs respond ~95%, Atlas probes ~75%",
+    "fig9b": "75% of interfaces within 2 ms; >20% above 10 ms",
+    "fig9c": "94% of remote interfaces with no feasible common facility",
+    "fig9d": "remote multi-IXP routers more prevalent than hybrid; some >10 IXPs",
+    "fig10a": "RTT+colocation and multi-IXP dominate; port capacity ~10% of inferences",
+    "fig10b": "28% of inferred interfaces remote; >10% remote at 90% of IXPs; ~40% at the top-2",
+    "fig11a": "63.7% / 23.4% / 12.9% local/remote/hybrid; hybrids have ~10x larger cones",
+    "fig11b": "similar traffic distributions for local and remote; hybrids at the top levels",
+    "fig12a": "remote membership grows ~2x faster; remote departure rate +25%",
+    "fig12b": "ping and traceroute RTT patterns are close",
+    "sec64": "66% hot-potato compliant, 18% remote detours, 16% missed closer big IXP",
+}
+
+
+def build_config(scale: str, seed: int) -> ExperimentConfig:
+    if scale == "tiny":
+        return ExperimentConfig.tiny(seed=seed)
+    if scale == "small":
+        return ExperimentConfig.small(seed=seed)
+    return ExperimentConfig()
+
+
+def format_headline(headline: dict[str, object]) -> str:
+    parts = []
+    for key, value in headline.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.3f}")
+        else:
+            parts.append(f"{key}={value}")
+    return "; ".join(parts)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("tiny", "small", "default"), default="small")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--output", type=Path, default=Path("EXPERIMENTS.md"))
+    args = parser.parse_args()
+
+    study = RemotePeeringStudy(build_config(args.scale, args.seed))
+    results = runner.run_all(study)
+
+    lines = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        "Reproduction of every table and figure of *O Peer, Where Art Thou? Uncovering",
+        "Remote Peering Interconnections at IXPs* (IMC 2018) on the simulated substrate.",
+        "",
+        f"- configuration scale: `{args.scale}` (seed {args.seed})",
+        f"- studied IXPs: {len(study.studied_ixp_ids)}",
+        f"- world: {study.world.summary()}",
+        "",
+        "Absolute counts differ from the paper (the substrate is a synthetic world,",
+        "not the 2018 Internet); the comparison below is about the *shape* of each",
+        "result — who wins, by roughly what factor, and where the qualitative",
+        "crossovers fall.  See DESIGN.md for the substitution rationale.",
+        "",
+        "## Summary: paper vs measured",
+        "",
+        "| experiment | paper reports | measured (this run) |",
+        "|---|---|---|",
+    ]
+    for experiment_id, result in results.items():
+        expectation = PAPER_EXPECTATIONS.get(experiment_id, "-")
+        lines.append(f"| {experiment_id} | {expectation} | {format_headline(result.headline)} |")
+
+    lines.extend(["", "## Full results", ""])
+    for result in results.values():
+        lines.append(result.to_markdown())
+
+    args.output.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print(f"wrote {args.output} with {len(results)} experiments")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that the package can be installed in editable mode on environments without
+the ``wheel`` package (legacy ``pip install -e . --no-use-pep517`` path).
+"""
+
+from setuptools import setup
+
+setup()

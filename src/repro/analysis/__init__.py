@@ -1,0 +1,29 @@
+"""Analyses built on top of the inference results (Section 6 of the paper).
+
+* :mod:`repro.analysis.ecdf` — empirical CDF helpers used by several figures.
+* :mod:`repro.analysis.wide_area` — wide-area IXP classification (Fig. 2b).
+* :mod:`repro.analysis.features` — features of remote/local/hybrid members:
+  colocation footprints (Fig. 1a), customer cones (Fig. 11a), traffic levels
+  (Fig. 11b), country distributions.
+* :mod:`repro.analysis.evolution` — growth and departure of remote vs local
+  members over time (Fig. 12a).
+* :mod:`repro.analysis.routing_implications` — the DE-CIX-style hot-potato /
+  detour study of Section 6.4.
+"""
+
+from repro.analysis.ecdf import ECDF
+from repro.analysis.wide_area import WideAreaRecord, classify_wide_area_ixps
+from repro.analysis.features import MemberFeatureAnalysis
+from repro.analysis.evolution import EvolutionAnalysis, EvolutionSeries
+from repro.analysis.routing_implications import RoutingImplicationsAnalysis, RoutingImplications
+
+__all__ = [
+    "ECDF",
+    "WideAreaRecord",
+    "classify_wide_area_ixps",
+    "MemberFeatureAnalysis",
+    "EvolutionAnalysis",
+    "EvolutionSeries",
+    "RoutingImplicationsAnalysis",
+    "RoutingImplications",
+]

@@ -1,0 +1,65 @@
+"""Empirical cumulative distribution functions.
+
+Several of the paper's figures are ECDFs (minimum RTTs in Fig. 1b and 9b,
+customer cones in Fig. 11a).  This tiny helper provides exactly what those
+figures need: evaluation at arbitrary points, quantiles, and a fixed-size
+sampling of the curve for serialisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class ECDF:
+    """An empirical CDF over a finite sample."""
+
+    sorted_values: tuple[float, ...]
+
+    @classmethod
+    def from_values(cls, values: list[float] | tuple[float, ...]) -> "ECDF":
+        """Build an ECDF from raw observations."""
+        if not values:
+            raise ReproError("cannot build an ECDF from an empty sample")
+        return cls(sorted_values=tuple(sorted(float(v) for v in values)))
+
+    def __len__(self) -> int:
+        return len(self.sorted_values)
+
+    def fraction_below(self, threshold: float) -> float:
+        """P(X <= threshold)."""
+        count = 0
+        for value in self.sorted_values:
+            if value <= threshold:
+                count += 1
+            else:
+                break
+        return count / len(self.sorted_values)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1) using the nearest-rank method."""
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile must be in [0, 1], got {q}")
+        if q == 0.0:
+            return self.sorted_values[0]
+        rank = max(1, int(round(q * len(self.sorted_values))))
+        return self.sorted_values[min(rank, len(self.sorted_values)) - 1]
+
+    @property
+    def median(self) -> float:
+        """The 0.5 quantile."""
+        return self.quantile(0.5)
+
+    def curve(self, points: int = 50) -> list[tuple[float, float]]:
+        """A fixed-size (value, cumulative fraction) sampling of the ECDF."""
+        if points < 2:
+            raise ReproError("points must be at least 2")
+        n = len(self.sorted_values)
+        curve: list[tuple[float, float]] = []
+        for i in range(points):
+            index = min(n - 1, int(round(i * (n - 1) / (points - 1))))
+            curve.append((self.sorted_values[index], (index + 1) / n))
+        return curve

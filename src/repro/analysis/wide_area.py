@@ -1,0 +1,90 @@
+"""Wide-area IXP classification (Section 4.2, Fig. 2b).
+
+An IXP is *wide-area* when its switching fabric spans facilities located in
+different metropolitan areas — operationally, when at least two of its
+facilities are more than 50 km apart.  The classification runs on the
+*observed* colocation dataset (the same view the inference uses), so missing
+facilities or bad coordinates affect it exactly as they would in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import WIDE_AREA_FACILITY_DISTANCE_KM
+from repro.datasources.merge import ObservedDataset
+from repro.geo.coordinates import geodesic_distance_km
+
+
+@dataclass(frozen=True)
+class WideAreaRecord:
+    """Wide-area classification of one IXP."""
+
+    ixp_id: str
+    facility_count: int
+    located_facility_count: int
+    max_facility_distance_km: float
+    member_count: int
+    is_wide_area: bool
+
+
+def classify_wide_area_ixps(
+    dataset: ObservedDataset,
+    *,
+    threshold_km: float = WIDE_AREA_FACILITY_DISTANCE_KM,
+    min_members: int = 2,
+) -> dict[str, WideAreaRecord]:
+    """Classify every IXP in the observed dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The merged observed dataset.
+    threshold_km:
+        Facilities farther apart than this are in different metro areas.
+    min_members:
+        IXPs with fewer observed members are skipped (the paper restricts the
+        statistic to IXPs with at least two members).
+    """
+    records: dict[str, WideAreaRecord] = {}
+    for ixp_id in dataset.ixp_ids():
+        members = dataset.members_of_ixp(ixp_id)
+        if len(members) < min_members:
+            continue
+        facilities = sorted(dataset.facilities_of_ixp(ixp_id))
+        locations = [
+            dataset.facility_location(f) for f in facilities
+            if dataset.facility_location(f) is not None
+        ]
+        max_distance = 0.0
+        for i, a in enumerate(locations):
+            for b in locations[i + 1:]:
+                max_distance = max(max_distance, geodesic_distance_km(a, b))
+        records[ixp_id] = WideAreaRecord(
+            ixp_id=ixp_id,
+            facility_count=len(facilities),
+            located_facility_count=len(locations),
+            max_facility_distance_km=max_distance,
+            member_count=len(members),
+            is_wide_area=max_distance > threshold_km,
+        )
+    return records
+
+
+def wide_area_fraction(records: dict[str, WideAreaRecord]) -> float:
+    """Fraction of classified IXPs that are wide-area."""
+    if not records:
+        return 0.0
+    return sum(1 for r in records.values() if r.is_wide_area) / len(records)
+
+
+def wide_area_fraction_among_largest(
+    records: dict[str, WideAreaRecord], count: int
+) -> float:
+    """Fraction of the ``count`` largest IXPs (by members) that are wide-area."""
+    if not records:
+        return 0.0
+    largest = sorted(records.values(), key=lambda r: -r.member_count)[:count]
+    if not largest:
+        return 0.0
+    return sum(1 for r in largest if r.is_wide_area) / len(largest)

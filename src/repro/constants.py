@@ -1,0 +1,78 @@
+"""Physical and domain constants used across the library.
+
+The values here encode the few "magic numbers" the paper relies on:
+
+* the speed of light (used by the delay/distance model in
+  :mod:`repro.geo.delay_model`),
+* the Katz-Bassett bound on end-to-end probe speed (4/9 of the speed of
+  light), used to derive the maximum distance compatible with a measured RTT,
+* the metro-area diameter (100 km) the paper uses to define "local",
+* the 50 km facility-separation threshold used to classify wide-area IXPs,
+* the 10 ms remoteness threshold of the Castro et al. baseline,
+* the canonical IXP port capacities (in Mbit/s).
+"""
+
+from __future__ import annotations
+
+#: Speed of light in vacuum, expressed in kilometres per second.
+SPEED_OF_LIGHT_KM_S: float = 299_792.458
+
+#: Speed of light expressed in kilometres per millisecond.
+SPEED_OF_LIGHT_KM_MS: float = SPEED_OF_LIGHT_KM_S / 1_000.0
+
+#: Maximum end-to-end probe-packet speed (Katz-Bassett et al.): 4/9 of c.
+#: Expressed in kilometres per second.
+MAX_PROBE_SPEED_KM_S: float = SPEED_OF_LIGHT_KM_S * 4.0 / 9.0
+
+#: Diameter (in km) of the disk the paper treats as one metropolitan area.
+METRO_AREA_DIAMETER_KM: float = 100.0
+
+#: Facilities further apart than this (in km) are considered to be located in
+#: different metropolitan areas when classifying wide-area IXPs (Section 4.2).
+WIDE_AREA_FACILITY_DISTANCE_KM: float = 50.0
+
+#: The RTT threshold (in milliseconds) used by the Castro et al. baseline to
+#: declare an IXP member remote.
+CASTRO_RTT_THRESHOLD_MS: float = 10.0
+
+#: RTT threshold (ms) above which a peer is very likely remote for a
+#: single-metro IXP (Section 4.1: 99% of local peers are below 1 ms and RTTs
+#: above 2 ms are a very strong indication of remoteness).
+STRONG_REMOTE_RTT_MS: float = 2.0
+
+#: Default initial TTL values emitted by common network stacks; the TTL-match
+#: filter of Section 4.1/5.2 accepts only replies consistent with these.
+EXPECTED_INITIAL_TTLS: tuple[int, ...] = (64, 255)
+
+#: Canonical IXP port capacities in Mbit/s.
+CAPACITY_FE: int = 100            #: Fast Ethernet (100 Mbit/s)
+CAPACITY_GE: int = 1_000          #: Gigabit Ethernet (1 Gbit/s)
+CAPACITY_10GE: int = 10_000       #: 10 Gigabit Ethernet
+CAPACITY_40GE: int = 40_000       #: 40 Gigabit Ethernet
+CAPACITY_100GE: int = 100_000     #: 100 Gigabit Ethernet
+
+#: Port capacities (Mbit/s) that can only be bought through port resellers
+#: (fractions of a physical port, rate-limited via VLAN sub-interfaces).
+FRACTIONAL_CAPACITIES: tuple[int, ...] = (
+    CAPACITY_FE,            # 1 FE
+    2 * CAPACITY_FE,        # 2 FE
+    3 * CAPACITY_FE,        # 3 FE
+    5 * CAPACITY_FE,        # 5 FE
+    500,                    # half a GE port
+)
+
+#: Physical port capacities (Mbit/s) offered directly by IXPs.
+PHYSICAL_CAPACITIES: tuple[int, ...] = (
+    CAPACITY_GE,
+    CAPACITY_10GE,
+    CAPACITY_40GE,
+    CAPACITY_100GE,
+)
+
+#: Number of ping rounds in the measurement campaign of Step 2 (every two
+#: hours for two days).
+PING_CAMPAIGN_ROUNDS: int = 24
+
+#: Number of ping rounds used for the control-dataset analysis of Section 4
+#: (every 20 minutes for two days).
+CONTROL_CAMPAIGN_ROUNDS: int = 144

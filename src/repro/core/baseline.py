@@ -1,0 +1,53 @@
+"""The RTT-threshold-only baseline (Castro et al.).
+
+The state of the art before the paper inferred remote peering from a single
+signal: a member whose minimum RTT from the IXP exceeds a fixed threshold
+(10 ms) is remote, anything below is local.  Section 4 of the paper shows why
+this is insufficient (remote peers can be nearby, wide-area IXPs make local
+peers look far); the baseline is reproduced here so Table 4 can compare the
+two approaches on identical measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import InferenceConfig
+from repro.core.inputs import InferenceInputs
+from repro.core.step2_rtt import RTTCampaignSummary
+from repro.core.types import InferenceReport, InferenceStep, PeeringClassification
+
+
+@dataclass
+class RTTBaseline:
+    """Classify members purely by a minimum-RTT threshold."""
+
+    inputs: InferenceInputs
+    config: InferenceConfig = field(default_factory=InferenceConfig)
+
+    def run(self, ixp_ids: list[str], rtt_summary: RTTCampaignSummary) -> InferenceReport:
+        """Produce a standalone report using only the RTT threshold."""
+        report = InferenceReport()
+        dataset = self.inputs.dataset
+        threshold = self.config.rtt_baseline_threshold_ms
+        for ixp_id in ixp_ids:
+            for interface_ip, asn in sorted(dataset.interfaces_of_ixp(ixp_id).items()):
+                report.ensure(ixp_id, interface_ip, asn)
+                observation = rtt_summary.observation_for(ixp_id, interface_ip)
+                if observation is None:
+                    continue
+                classification = (
+                    PeeringClassification.REMOTE
+                    if observation.rtt_min_ms > threshold
+                    else PeeringClassification.LOCAL
+                )
+                report.classify(
+                    ixp_id,
+                    interface_ip,
+                    asn,
+                    classification,
+                    InferenceStep.RTT_BASELINE,
+                    evidence={"rtt_min_ms": observation.rtt_min_ms,
+                              "threshold_ms": threshold},
+                )
+        return report

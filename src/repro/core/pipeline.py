@@ -1,0 +1,118 @@
+"""The combined five-step inference pipeline.
+
+Step ordering follows the paper (Section 5.2): port capacities first (precise
+but narrow), then the RTT campaign post-processing, then the
+colocation-informed RTT interpretation, then multi-IXP routers, and finally
+the private-connectivity vote as a last resort.  Each step only fills in
+interfaces that earlier steps left unknown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import InferenceConfig
+from repro.core.baseline import RTTBaseline
+from repro.core.inputs import InferenceInputs
+from repro.core.step1_port_capacity import PortCapacityStep
+from repro.core.step2_rtt import RTTCampaignSummary, RTTMeasurementStep
+from repro.core.step3_colocation import ColocationRTTStep, FeasibleFacilityAnalysis
+from repro.core.step4_multi_ixp import MultiIXPRouter, MultiIXPRouterStep
+from repro.core.step5_private_links import PrivateConnectivityStep
+from repro.core.types import InferenceReport
+from repro.datasources.prefix2as import Prefix2ASMap
+from repro.exceptions import InferenceError
+from repro.geo.delay_model import DelayModel
+from repro.traixroute.detector import CrossingDetector, IXPCrossing, PrivateAdjacency
+
+
+@dataclass
+class PipelineOutcome:
+    """Everything a pipeline run produced."""
+
+    ixp_ids: list[str]
+    report: InferenceReport
+    baseline_report: InferenceReport
+    rtt_summary: RTTCampaignSummary
+    feasible: dict[tuple[str, str], FeasibleFacilityAnalysis] = field(default_factory=dict)
+    crossings: list[IXPCrossing] = field(default_factory=list)
+    private_adjacencies: list[PrivateAdjacency] = field(default_factory=list)
+    multi_ixp_routers: list[MultiIXPRouter] = field(default_factory=list)
+
+    def remote_share(self, ixp_id: str | None = None) -> float:
+        """Fraction of inferred interfaces classified remote."""
+        return self.report.remote_share(ixp_id)
+
+
+class RemotePeeringPipeline:
+    """Runs the paper's methodology end to end on observable inputs."""
+
+    def __init__(
+        self,
+        inputs: InferenceInputs,
+        config: InferenceConfig | None = None,
+        *,
+        delay_model: DelayModel | None = None,
+    ) -> None:
+        self.inputs = inputs
+        self.config = config or InferenceConfig()
+        self.delay_model = delay_model or DelayModel()
+
+    def run(self, ixp_ids: list[str]) -> PipelineOutcome:
+        """Run every enabled step for the given IXPs."""
+        if not ixp_ids:
+            raise InferenceError("at least one IXP id is required")
+        report = InferenceReport()
+
+        # Step 1: port capacities.
+        if self.config.enable_step1_port_capacity:
+            PortCapacityStep(self.inputs).run(ixp_ids, report)
+        else:
+            self._register_all(ixp_ids, report)
+
+        # Step 2: RTT campaign post-processing.
+        rtt_step = RTTMeasurementStep(self.inputs, self.config)
+        rtt_summary = rtt_step.run(ixp_ids)
+
+        # Step 3: colocation-informed RTT interpretation.
+        feasible: dict[tuple[str, str], FeasibleFacilityAnalysis] = {}
+        if self.config.enable_step3_colocation_rtt:
+            step3 = ColocationRTTStep(self.inputs, self.config, self.delay_model)
+            feasible = step3.run(ixp_ids, report, rtt_summary)
+
+        # Traceroute-derived observables shared by Steps 4 and 5.
+        detector = CrossingDetector(self.inputs.dataset, self.inputs.prefix2as)
+        crossings = detector.detect_corpus(self.inputs.corpus)
+        adjacencies = detector.private_adjacencies_corpus(self.inputs.corpus)
+
+        # Step 4: multi-IXP routers.
+        multi_ixp_routers: list[MultiIXPRouter] = []
+        if self.config.enable_step4_multi_ixp:
+            step4 = MultiIXPRouterStep(self.inputs, self.config)
+            multi_ixp_routers = step4.run(ixp_ids, report, crossings)
+
+        # Step 5: private-connectivity localisation.
+        if self.config.enable_step5_private_links:
+            step5 = PrivateConnectivityStep(self.inputs, self.config)
+            step5.run(ixp_ids, report, adjacencies, multi_ixp_routers, feasible)
+
+        # The RTT-threshold baseline, for comparison, on the same measurements.
+        baseline = RTTBaseline(self.inputs, self.config).run(ixp_ids, rtt_summary)
+
+        return PipelineOutcome(
+            ixp_ids=list(ixp_ids),
+            report=report,
+            baseline_report=baseline,
+            rtt_summary=rtt_summary,
+            feasible=feasible,
+            crossings=crossings,
+            private_adjacencies=adjacencies,
+            multi_ixp_routers=multi_ixp_routers,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _register_all(self, ixp_ids: list[str], report: InferenceReport) -> None:
+        """Make sure every member interface is tracked even if Step 1 is off."""
+        for ixp_id in ixp_ids:
+            for interface_ip, asn in self.inputs.dataset.interfaces_of_ixp(ixp_id).items():
+                report.ensure(ixp_id, interface_ip, asn)

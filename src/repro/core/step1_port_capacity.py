@@ -1,0 +1,54 @@
+"""Step 1 — finding reseller customers via port capacities.
+
+Fractional port capacities (anything below the minimum physical capacity the
+IXP sells directly, ``Cmin``) can only be bought through port resellers, so a
+member whose observed port capacity ``Cx`` satisfies ``Cx < Cmin`` is a
+remote peer by Definition 1.  This step is applied first because it is highly
+precise, even though its coverage is limited to IXPs with published pricing
+and members with known port capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.inputs import InferenceInputs
+from repro.core.types import InferenceReport, InferenceStep, PeeringClassification
+
+
+@dataclass
+class PortCapacityStep:
+    """Classify reseller customers from fractional port capacities."""
+
+    inputs: InferenceInputs
+
+    def run(self, ixp_ids: list[str], report: InferenceReport) -> int:
+        """Apply the step to every member interface of the given IXPs.
+
+        Returns the number of interfaces classified by this step.
+        """
+        dataset = self.inputs.dataset
+        classified = 0
+        for ixp_id in ixp_ids:
+            min_capacity = dataset.min_capacity(ixp_id)
+            for interface_ip, asn in sorted(dataset.interfaces_of_ixp(ixp_id).items()):
+                report.ensure(ixp_id, interface_ip, asn)
+                if min_capacity is None:
+                    continue
+                capacity = dataset.port_capacity(ixp_id, asn)
+                if capacity is None:
+                    continue
+                if capacity < min_capacity:
+                    report.classify(
+                        ixp_id,
+                        interface_ip,
+                        asn,
+                        PeeringClassification.REMOTE,
+                        InferenceStep.PORT_CAPACITY,
+                        evidence={
+                            "port_capacity_mbps": capacity,
+                            "min_physical_capacity_mbps": min_capacity,
+                        },
+                    )
+                    classified += 1
+        return classified

@@ -1,0 +1,159 @@
+"""Step 2 — ping RTT measurement post-processing.
+
+The raw ping campaign output (per-round RTT and reply-TTL samples) is turned
+into one *minimum RTT observation* per (IXP, member interface):
+
+* **TTL match / switch filters** — replies whose TTL is not consistent with
+  the expected initial TTLs (64/255 minus the in-fabric hop) are discarded,
+  because they indicate replies generated outside the IXP subnet;
+* **unusable Atlas probes** — probes that never answered, and probes whose
+  minimum RTT to the IXP route server is at or above 1 ms (they most likely
+  sit in the IXP management LAN rather than a peering facility), are dropped;
+* **looking-glass rounding** — LGs that report integer milliseconds yield a
+  rounded-up RTT; the lower bound used for the minimum-distance estimate is
+  therefore relaxed by one millisecond (Section 6.1);
+* the **minimum** of the surviving samples is kept, to counter transient
+  latency inflation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import InferenceConfig
+from repro.constants import EXPECTED_INITIAL_TTLS
+from repro.core.inputs import InferenceInputs
+from repro.measurement.results import PingSeries
+from repro.measurement.vantage import VantagePoint
+
+
+@dataclass(frozen=True)
+class RTTObservation:
+    """Minimum-RTT observation for one (IXP, interface) pair.
+
+    Attributes
+    ----------
+    rtt_min_ms:
+        The minimum RTT across surviving samples (and across vantage points,
+        keeping the smallest).
+    rtt_lower_ms:
+        The value to use when translating the RTT into a *lower* distance
+        bound; it equals ``rtt_min_ms`` except for rounding looking glasses,
+        where one millisecond of rounding slack is subtracted.
+    vp_id:
+        The vantage point that produced the kept observation.
+    """
+
+    ixp_id: str
+    interface_ip: str
+    rtt_min_ms: float
+    rtt_lower_ms: float
+    vp_id: str
+
+
+@dataclass
+class RTTCampaignSummary:
+    """Everything Step 2 extracted from the raw ping campaign."""
+
+    observations: dict[tuple[str, str], RTTObservation] = field(default_factory=dict)
+    usable_vps: dict[str, VantagePoint] = field(default_factory=dict)
+    discarded_vps: dict[str, str] = field(default_factory=dict)
+    queried_per_vp: dict[str, int] = field(default_factory=dict)
+    responsive_per_vp: dict[str, int] = field(default_factory=dict)
+
+    def observation_for(self, ixp_id: str, interface_ip: str) -> RTTObservation | None:
+        """The kept observation for one interface, if any."""
+        return self.observations.get((ixp_id, interface_ip))
+
+    def observations_for_ixp(self, ixp_id: str) -> list[RTTObservation]:
+        """All kept observations at one IXP."""
+        return [obs for (ixp, _), obs in self.observations.items() if ixp == ixp_id]
+
+    def response_rate(self, vp_id: str) -> float:
+        """Fraction of queried interfaces that answered a vantage point."""
+        queried = self.queried_per_vp.get(vp_id, 0)
+        if queried == 0:
+            return 0.0
+        return self.responsive_per_vp.get(vp_id, 0) / queried
+
+
+@dataclass
+class RTTMeasurementStep:
+    """Turns raw ping series into per-interface minimum-RTT observations."""
+
+    inputs: InferenceInputs
+    config: InferenceConfig = field(default_factory=InferenceConfig)
+
+    def run(self, ixp_ids: list[str]) -> RTTCampaignSummary:
+        """Process the campaign for the given IXPs."""
+        summary = RTTCampaignSummary()
+        wanted = set(ixp_ids)
+        ping = self.inputs.ping_result
+
+        for vp_id, vp in sorted(ping.vantage_points.items()):
+            if vp.ixp_id not in wanted:
+                continue
+            reason = self._unusable_reason(vp)
+            if reason is not None:
+                summary.discarded_vps[vp_id] = reason
+                continue
+            summary.usable_vps[vp_id] = vp
+
+        for series in ping.series:
+            if series.ixp_id not in wanted:
+                continue
+            vp = ping.vantage_points.get(series.vp_id)
+            if vp is None or series.vp_id not in summary.usable_vps:
+                continue
+            summary.queried_per_vp[series.vp_id] = (
+                summary.queried_per_vp.get(series.vp_id, 0) + 1
+            )
+            observation = self._process_series(series, vp)
+            if observation is None:
+                continue
+            summary.responsive_per_vp[series.vp_id] = (
+                summary.responsive_per_vp.get(series.vp_id, 0) + 1
+            )
+            key = (series.ixp_id, series.target_ip)
+            existing = summary.observations.get(key)
+            if existing is None or observation.rtt_min_ms < existing.rtt_min_ms:
+                summary.observations[key] = observation
+        return summary
+
+    # ------------------------------------------------------------------ #
+    def _unusable_reason(self, vp: VantagePoint) -> str | None:
+        """Reason to discard a vantage point, or ``None`` if it is usable."""
+        ping = self.inputs.ping_result
+        route_server = ping.route_server_series_for_vp(vp.vp_id)
+        if route_server is None or not route_server.responded:
+            if vp.is_looking_glass:
+                # LGs sit on the peering LAN; a silent route server is fine.
+                return None
+            return "no response from the IXP route server"
+        filtered = self._filtered_rtts(route_server)
+        if not filtered:
+            return None if vp.is_looking_glass else "route-server replies failed the TTL filters"
+        if not vp.is_looking_glass and min(filtered) >= self.config.atlas_route_server_filter_ms:
+            return "route-server RTT >= 1 ms (probably a management-LAN probe)"
+        return None
+
+    def _filtered_rtts(self, series: PingSeries) -> list[float]:
+        """Apply the TTL match/switch filters and return surviving RTTs."""
+        expected = {ttl - 1 for ttl in EXPECTED_INITIAL_TTLS} | set(EXPECTED_INITIAL_TTLS)
+        return [s.rtt_ms for s in series.samples if s.reply_ttl in expected]
+
+    def _process_series(self, series: PingSeries, vp: VantagePoint) -> RTTObservation | None:
+        rtts = self._filtered_rtts(series)
+        if not rtts:
+            return None
+        rtt_min = min(rtts)
+        rtt_lower = rtt_min
+        if vp.rounds_rtt_up:
+            rtt_lower = max(0.0, rtt_min - self.config.lg_rounding_adjustment_ms)
+        return RTTObservation(
+            ixp_id=series.ixp_id,
+            interface_ip=series.target_ip,
+            rtt_min_ms=rtt_min,
+            rtt_lower_ms=rtt_lower,
+            vp_id=vp.vp_id,
+        )

@@ -1,0 +1,155 @@
+"""Step 3 — colocation-informed RTT interpretation.
+
+For every member interface with a minimum-RTT observation, the measured RTT
+is translated into a *feasible distance ring* around the vantage point using
+the physical speed bounds of the delay model (Fig. 6/7 of the paper):
+
+* ``d_max`` follows from the Katz-Bassett maximum probe speed applied to the
+  measured minimum RTT;
+* ``d_min`` follows from the fitted minimum-speed curve, applied to the RTT
+  minus the rounding slack of integer-reporting looking glasses.
+
+IXP facilities (and the member's own facilities) whose distance from the
+vantage point falls inside the ring are *feasible*.  The classification rules
+are then:
+
+* **remote** — the IXP has no feasible facility, or it has one but the member
+  is only present at feasible facilities where the IXP is not;
+* **local** — the member is present at a feasible facility of the IXP;
+* **no inference** — the IXP has feasible facilities but the member is not
+  observed at any feasible facility (typically missing colocation data);
+  later steps handle these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import InferenceConfig
+from repro.core.inputs import InferenceInputs
+from repro.core.step2_rtt import RTTCampaignSummary, RTTObservation
+from repro.core.types import InferenceReport, InferenceStep, PeeringClassification
+from repro.geo.coordinates import geodesic_distance_km
+from repro.geo.delay_model import DelayModel, FeasibleRing
+
+
+@dataclass
+class FeasibleFacilityAnalysis:
+    """The geometric evidence Step 3 derived for one interface."""
+
+    ixp_id: str
+    interface_ip: str
+    asn: int
+    ring: FeasibleRing
+    feasible_ixp_facilities: set[str] = field(default_factory=set)
+    feasible_member_facilities: set[str] = field(default_factory=set)
+    member_has_facility_data: bool = False
+    classification: PeeringClassification = PeeringClassification.UNKNOWN
+
+    @property
+    def n_feasible_ixp_facilities(self) -> int:
+        """Number of IXP facilities compatible with the measured RTT."""
+        return len(self.feasible_ixp_facilities)
+
+
+@dataclass
+class ColocationRTTStep:
+    """Combine minimum RTTs with colocation data (the heart of the method)."""
+
+    inputs: InferenceInputs
+    config: InferenceConfig = field(default_factory=InferenceConfig)
+    delay_model: DelayModel = field(default_factory=DelayModel)
+
+    def run(
+        self,
+        ixp_ids: list[str],
+        report: InferenceReport,
+        rtt_summary: RTTCampaignSummary,
+    ) -> dict[tuple[str, str], FeasibleFacilityAnalysis]:
+        """Classify every interface with an RTT observation.
+
+        Returns the per-interface geometric analysis (also used by Step 5 as
+        the feasible-facility set of the IXP).
+        """
+        analyses: dict[tuple[str, str], FeasibleFacilityAnalysis] = {}
+        dataset = self.inputs.dataset
+        for ixp_id in ixp_ids:
+            for interface_ip, asn in sorted(dataset.interfaces_of_ixp(ixp_id).items()):
+                observation = rtt_summary.observation_for(ixp_id, interface_ip)
+                if observation is None:
+                    continue
+                vp = rtt_summary.usable_vps.get(observation.vp_id)
+                if vp is None:
+                    continue
+                analysis = self._analyse(ixp_id, interface_ip, asn, observation, vp.location)
+                analyses[(ixp_id, interface_ip)] = analysis
+                if analysis.classification is PeeringClassification.UNKNOWN:
+                    continue
+                report.classify(
+                    ixp_id,
+                    interface_ip,
+                    asn,
+                    analysis.classification,
+                    InferenceStep.RTT_COLOCATION,
+                    evidence={
+                        "rtt_min_ms": observation.rtt_min_ms,
+                        "feasible_ring_km": (analysis.ring.min_distance_km,
+                                             analysis.ring.max_distance_km),
+                        "feasible_ixp_facilities": sorted(analysis.feasible_ixp_facilities),
+                        "vp_id": observation.vp_id,
+                    },
+                )
+        return analyses
+
+    # ------------------------------------------------------------------ #
+    def _analyse(
+        self,
+        ixp_id: str,
+        interface_ip: str,
+        asn: int,
+        observation: RTTObservation,
+        vp_location,
+    ) -> FeasibleFacilityAnalysis:
+        dataset = self.inputs.dataset
+        tolerance = self.config.feasible_facility_tolerance_km
+        ring = FeasibleRing(
+            min_distance_km=self.delay_model.min_distance_km(observation.rtt_lower_ms),
+            max_distance_km=self.delay_model.max_distance_km(observation.rtt_min_ms),
+        )
+
+        def feasible(facility_id: str) -> bool:
+            location = dataset.facility_location(facility_id)
+            if location is None:
+                return False
+            distance = geodesic_distance_km(vp_location, location)
+            return (ring.min_distance_km - tolerance) <= distance <= (
+                ring.max_distance_km + tolerance
+            )
+
+        ixp_facilities = dataset.facilities_of_ixp(ixp_id)
+        member_facilities = dataset.facilities_of_as(asn)
+        analysis = FeasibleFacilityAnalysis(
+            ixp_id=ixp_id,
+            interface_ip=interface_ip,
+            asn=asn,
+            ring=ring,
+            feasible_ixp_facilities={f for f in ixp_facilities if feasible(f)},
+            feasible_member_facilities={f for f in member_facilities if feasible(f)},
+            member_has_facility_data=bool(member_facilities),
+        )
+        analysis.classification = self._classify(analysis)
+        return analysis
+
+    @staticmethod
+    def _classify(analysis: FeasibleFacilityAnalysis) -> PeeringClassification:
+        if not analysis.feasible_ixp_facilities:
+            # No facility of the IXP is compatible with the measured RTT.
+            return PeeringClassification.REMOTE
+        overlap = analysis.feasible_ixp_facilities & analysis.feasible_member_facilities
+        if overlap:
+            return PeeringClassification.LOCAL
+        if analysis.feasible_member_facilities:
+            # The member is observed only at feasible facilities where the IXP
+            # has no switching fabric.
+            return PeeringClassification.REMOTE
+        return PeeringClassification.UNKNOWN

@@ -1,0 +1,264 @@
+"""Step 4 — multi-IXP router inference.
+
+An AS can terminate several IXP connections on the same border router
+(Section 5.1.3).  Traceroute paths betray this: the interface that precedes
+an IXP-LAN hop belongs to the member's border router, so a router whose
+interfaces precede the LANs of *several* IXPs is a multi-IXP router.
+
+If earlier steps already classified the AS at one of those IXPs, simple
+geometric consistency arguments propagate the classification to the others:
+
+* **local multi-IXP router** — the AS is local at one involved IXP and all
+  involved IXPs share at least one facility: the single router can be (and
+  is) local to all of them;
+* **remote multi-IXP router** — the AS is remote at one involved IXP
+  (``IXP_R``) and either all the involved IXPs share a facility, or every
+  other involved IXP's facilities are closer to ``IXP_R`` than the AS itself
+  can possibly be: the router is remote to all of them;
+* **hybrid multi-IXP router** — the AS is local at ``IXP_L`` but another
+  involved IXP shares no facility with ``IXP_L`` (or is farther away than the
+  AS's own presence allows): the router is remote to that other IXP.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.config import InferenceConfig
+from repro.core.inputs import InferenceInputs
+from repro.core.types import InferenceReport, InferenceStep, PeeringClassification
+from repro.geo.coordinates import geodesic_distance_km
+from repro.traixroute.detector import IXPCrossing
+
+
+class MultiIXPRouterKind(enum.Enum):
+    """Classification of a multi-IXP router (Fig. 3 / Fig. 9d)."""
+
+    LOCAL = "local"
+    REMOTE = "remote"
+    HYBRID = "hybrid"
+    UNCLASSIFIED = "unclassified"
+
+
+@dataclass
+class MultiIXPRouter:
+    """One router observed to connect to several IXPs."""
+
+    asn: int
+    interface_ips: frozenset[str]
+    ixp_ids: frozenset[str]
+    kind: MultiIXPRouterKind = MultiIXPRouterKind.UNCLASSIFIED
+
+    @property
+    def ixp_count(self) -> int:
+        """Number of distinct next-hop IXPs observed for this router."""
+        return len(self.ixp_ids)
+
+
+@dataclass
+class MultiIXPRouterStep:
+    """Infer peering types through multi-IXP routers."""
+
+    inputs: InferenceInputs
+    config: InferenceConfig = field(default_factory=InferenceConfig)
+
+    def run(
+        self,
+        ixp_ids: list[str],
+        report: InferenceReport,
+        crossings: list[IXPCrossing],
+    ) -> list[MultiIXPRouter]:
+        """Apply the step; returns the multi-IXP routers it identified."""
+        routers = self.identify_routers(crossings)
+        studied = set(ixp_ids)
+        for router in routers:
+            self._classify_router(router, studied, report)
+        return routers
+
+    # ------------------------------------------------------------------ #
+    # Router identification
+    # ------------------------------------------------------------------ #
+    def identify_routers(self, crossings: list[IXPCrossing]) -> list[MultiIXPRouter]:
+        """Alias-resolve the entry interfaces seen before IXP hops.
+
+        Only ASes observed at more than one IXP are worth resolving (the
+        paper's optimisation); routers whose interfaces precede a single IXP
+        are not multi-IXP routers and are skipped.
+        """
+        ixps_per_interface: dict[str, set[str]] = defaultdict(set)
+        interfaces_per_asn: dict[int, set[str]] = defaultdict(set)
+        for crossing in crossings:
+            ixps_per_interface[crossing.entry_ip].add(crossing.ixp_id)
+            interfaces_per_asn[crossing.entry_asn].add(crossing.entry_ip)
+
+        routers: list[MultiIXPRouter] = []
+        for asn, interfaces in sorted(interfaces_per_asn.items()):
+            observed_ixps = set().union(*(ixps_per_interface[ip] for ip in interfaces))
+            if len(observed_ixps) < 2:
+                continue
+            resolution = self.inputs.alias_resolver.resolve(interfaces)
+            for group in resolution.groups:
+                group_ixps: set[str] = set()
+                for ip in group:
+                    group_ixps.update(ixps_per_interface.get(ip, set()))
+                if len(group_ixps) < 2:
+                    continue
+                routers.append(
+                    MultiIXPRouter(
+                        asn=asn,
+                        interface_ips=frozenset(group),
+                        ixp_ids=frozenset(group_ixps),
+                    )
+                )
+        return routers
+
+    # ------------------------------------------------------------------ #
+    # Classification
+    # ------------------------------------------------------------------ #
+    def _classify_router(
+        self, router: MultiIXPRouter, studied: set[str], report: InferenceReport
+    ) -> None:
+        dataset = self.inputs.dataset
+        involved = sorted(router.ixp_ids)
+        prior: dict[str, PeeringClassification] = {}
+        for ixp_id in involved:
+            classes = {
+                r.classification
+                for r in report.results_for_as(router.asn, ixp_id)
+                if r.is_inferred
+            }
+            if PeeringClassification.LOCAL in classes:
+                prior[ixp_id] = PeeringClassification.LOCAL
+            elif PeeringClassification.REMOTE in classes:
+                prior[ixp_id] = PeeringClassification.REMOTE
+
+        local_anchors = [i for i, c in prior.items() if c is PeeringClassification.LOCAL]
+        remote_anchors = [i for i, c in prior.items() if c is PeeringClassification.REMOTE]
+
+        if local_anchors:
+            if self._all_share_a_facility(involved):
+                router.kind = MultiIXPRouterKind.LOCAL
+                self._propagate(router, involved, PeeringClassification.LOCAL, studied, report)
+                return
+            anchor = local_anchors[0]
+            remotes = self._hybrid_remote_subset(router.asn, anchor, involved)
+            if remotes:
+                router.kind = MultiIXPRouterKind.HYBRID
+                self._propagate(router, remotes, PeeringClassification.REMOTE, studied, report)
+                self._propagate(router, [anchor], PeeringClassification.LOCAL, studied, report)
+                return
+            router.kind = MultiIXPRouterKind.LOCAL if len(local_anchors) == len(involved) \
+                else MultiIXPRouterKind.UNCLASSIFIED
+            return
+
+        if remote_anchors:
+            anchor = remote_anchors[0]
+            if self._all_share_a_facility(involved) or self._remote_condition_b(
+                router.asn, anchor, involved
+            ):
+                router.kind = MultiIXPRouterKind.REMOTE
+                self._propagate(router, involved, PeeringClassification.REMOTE, studied, report)
+                return
+            router.kind = MultiIXPRouterKind.REMOTE if len(remote_anchors) == len(involved) \
+                else MultiIXPRouterKind.UNCLASSIFIED
+            return
+
+        router.kind = MultiIXPRouterKind.UNCLASSIFIED
+
+    def _propagate(
+        self,
+        router: MultiIXPRouter,
+        ixp_ids: list[str],
+        classification: PeeringClassification,
+        studied: set[str],
+        report: InferenceReport,
+    ) -> None:
+        dataset = self.inputs.dataset
+        for ixp_id in ixp_ids:
+            if ixp_id not in studied:
+                continue
+            for interface_ip, asn in dataset.interfaces_of_ixp(ixp_id).items():
+                if asn != router.asn:
+                    continue
+                report.classify(
+                    ixp_id,
+                    interface_ip,
+                    asn,
+                    classification,
+                    InferenceStep.MULTI_IXP_ROUTER,
+                    evidence={
+                        "multi_ixp_router_interfaces": sorted(router.interface_ips),
+                        "involved_ixps": sorted(router.ixp_ids),
+                        "router_kind": router.kind.value,
+                    },
+                )
+
+    # ------------------------------------------------------------------ #
+    # Geometric helpers
+    # ------------------------------------------------------------------ #
+    def _facilities(self, ixp_id: str) -> set[str]:
+        return self.inputs.dataset.facilities_of_ixp(ixp_id)
+
+    def _all_share_a_facility(self, ixp_ids: list[str]) -> bool:
+        sets = [self._facilities(i) for i in ixp_ids]
+        if any(not s for s in sets):
+            return False
+        common = set.intersection(*sets)
+        return bool(common)
+
+    def _pairwise_distances(self, facilities_a: set[str], facilities_b: set[str]) -> list[float]:
+        dataset = self.inputs.dataset
+        distances: list[float] = []
+        for fa in facilities_a:
+            loc_a = dataset.facility_location(fa)
+            if loc_a is None:
+                continue
+            for fb in facilities_b:
+                loc_b = dataset.facility_location(fb)
+                if loc_b is None:
+                    continue
+                distances.append(geodesic_distance_km(loc_a, loc_b))
+        return distances
+
+    def _remote_condition_b(self, asn: int, anchor_ixp: str, involved: list[str]) -> bool:
+        """Condition 2(b): other IXPs are closer to the anchor IXP than the AS can be."""
+        dataset = self.inputs.dataset
+        as_facilities = dataset.facilities_of_as(asn)
+        anchor_facilities = self._facilities(anchor_ixp)
+        as_to_anchor = self._pairwise_distances(as_facilities, anchor_facilities)
+        if not as_to_anchor:
+            return False
+        d_min = min(as_to_anchor)
+        for ixp_id in involved:
+            if ixp_id == anchor_ixp:
+                continue
+            other_to_anchor = self._pairwise_distances(self._facilities(ixp_id), anchor_facilities)
+            if not other_to_anchor or max(other_to_anchor) >= d_min:
+                return False
+        return True
+
+    def _hybrid_remote_subset(self, asn: int, anchor_ixp: str, involved: list[str]) -> list[str]:
+        """IXPs to which the router must be remote, given it is local at the anchor."""
+        dataset = self.inputs.dataset
+        anchor_facilities = self._facilities(anchor_ixp)
+        common = dataset.facilities_of_as(asn) & anchor_facilities
+        common_distances = self._pairwise_distances(common, anchor_facilities)
+        d_max = max(common_distances) if common_distances else None
+
+        remotes: list[str] = []
+        for ixp_id in involved:
+            if ixp_id == anchor_ixp:
+                continue
+            other_facilities = self._facilities(ixp_id)
+            if anchor_facilities and other_facilities and not (
+                anchor_facilities & other_facilities
+            ):
+                remotes.append(ixp_id)
+                continue
+            if d_max is not None:
+                between = self._pairwise_distances(anchor_facilities, other_facilities)
+                if between and min(between) > d_max:
+                    remotes.append(ixp_id)
+        return remotes

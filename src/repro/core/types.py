@@ -1,0 +1,182 @@
+"""Result types shared by the inference steps."""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.exceptions import InferenceError
+
+
+class PeeringClassification(enum.Enum):
+    """Outcome of the inference for one IXP member interface."""
+
+    LOCAL = "local"
+    REMOTE = "remote"
+    UNKNOWN = "unknown"
+
+
+class InferenceStep(enum.Enum):
+    """Which part of the methodology produced a classification."""
+
+    PORT_CAPACITY = "port-capacity"
+    RTT_COLOCATION = "rtt+colocation"
+    MULTI_IXP_ROUTER = "multi-ixp-router"
+    PRIVATE_CONNECTIVITY = "private-connectivity"
+    RTT_BASELINE = "rtt-baseline"
+
+
+@dataclass
+class InferenceResult:
+    """Classification of one (IXP, member interface) pair.
+
+    Attributes
+    ----------
+    ixp_id / interface_ip / asn:
+        The peering interface being classified and its member AS.
+    classification:
+        Local, remote, or unknown (no inference possible).
+    step:
+        The methodology step that produced the classification (``None`` while
+        unknown).
+    evidence:
+        Step-specific details (RTT, feasible facilities, router ids, votes...)
+        kept for reporting and debugging.
+    """
+
+    ixp_id: str
+    interface_ip: str
+    asn: int
+    classification: PeeringClassification = PeeringClassification.UNKNOWN
+    step: InferenceStep | None = None
+    evidence: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_inferred(self) -> bool:
+        """True when the interface has been classified local or remote."""
+        return self.classification is not PeeringClassification.UNKNOWN
+
+    @property
+    def is_remote(self) -> bool:
+        """True when the interface was classified remote."""
+        return self.classification is PeeringClassification.REMOTE
+
+
+@dataclass
+class InferenceReport:
+    """The collection of classifications produced by a pipeline run."""
+
+    results: dict[tuple[str, str], InferenceResult] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def ensure(self, ixp_id: str, interface_ip: str, asn: int) -> InferenceResult:
+        """Get (or create as UNKNOWN) the result for one interface."""
+        key = (ixp_id, interface_ip)
+        if key not in self.results:
+            self.results[key] = InferenceResult(ixp_id=ixp_id, interface_ip=interface_ip, asn=asn)
+        return self.results[key]
+
+    def classify(
+        self,
+        ixp_id: str,
+        interface_ip: str,
+        asn: int,
+        classification: PeeringClassification,
+        step: InferenceStep,
+        evidence: dict[str, object] | None = None,
+        *,
+        overwrite: bool = False,
+    ) -> InferenceResult:
+        """Record a classification; earlier steps win unless ``overwrite``."""
+        if classification is PeeringClassification.UNKNOWN:
+            raise InferenceError("classify() must not be called with UNKNOWN")
+        result = self.ensure(ixp_id, interface_ip, asn)
+        if result.is_inferred and not overwrite:
+            return result
+        result.classification = classification
+        result.step = step
+        if evidence:
+            result.evidence.update(evidence)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def result_for(self, ixp_id: str, interface_ip: str) -> InferenceResult | None:
+        """The result for one interface, if tracked."""
+        return self.results.get((ixp_id, interface_ip))
+
+    def classification_of(self, ixp_id: str, interface_ip: str) -> PeeringClassification:
+        """Classification for one interface (UNKNOWN if never seen)."""
+        result = self.results.get((ixp_id, interface_ip))
+        return result.classification if result else PeeringClassification.UNKNOWN
+
+    def results_for_ixp(self, ixp_id: str) -> list[InferenceResult]:
+        """All results at one IXP."""
+        return [r for (ixp, _), r in self.results.items() if ixp == ixp_id]
+
+    def results_for_as(self, asn: int, ixp_id: str | None = None) -> list[InferenceResult]:
+        """All results for one member AS, optionally restricted to an IXP."""
+        return [
+            r for r in self.results.values()
+            if r.asn == asn and (ixp_id is None or r.ixp_id == ixp_id)
+        ]
+
+    def inferred(self) -> list[InferenceResult]:
+        """Every classified (non-unknown) result."""
+        return [r for r in self.results.values() if r.is_inferred]
+
+    def unknown(self) -> list[InferenceResult]:
+        """Every result still lacking a classification."""
+        return [r for r in self.results.values() if not r.is_inferred]
+
+    def remote_share(self, ixp_id: str | None = None) -> float:
+        """Fraction of inferred interfaces classified remote."""
+        pool = [
+            r for r in self.inferred() if ixp_id is None or r.ixp_id == ixp_id
+        ]
+        if not pool:
+            return 0.0
+        return sum(1 for r in pool if r.is_remote) / len(pool)
+
+    def coverage(self, ixp_id: str | None = None) -> float:
+        """Fraction of tracked interfaces that received a classification."""
+        pool = [
+            r for r in self.results.values() if ixp_id is None or r.ixp_id == ixp_id
+        ]
+        if not pool:
+            return 0.0
+        return sum(1 for r in pool if r.is_inferred) / len(pool)
+
+    def step_contributions(self, ixp_id: str | None = None) -> dict[InferenceStep, int]:
+        """How many classifications each step contributed."""
+        counter: Counter[InferenceStep] = Counter()
+        for result in self.inferred():
+            if ixp_id is not None and result.ixp_id != ixp_id:
+                continue
+            if result.step is not None:
+                counter[result.step] += 1
+        return dict(counter)
+
+    def classification_of_as(self, asn: int) -> str:
+        """Member-level label: ``"local"``, ``"remote"``, ``"hybrid"`` or ``"unknown"``.
+
+        A member AS is *hybrid* when it holds both local and remote
+        connections across its inferred interfaces (Section 6.2).
+        """
+        classes = {
+            r.classification for r in self.results_for_as(asn) if r.is_inferred
+        }
+        if not classes:
+            return "unknown"
+        if classes == {PeeringClassification.LOCAL}:
+            return "local"
+        if classes == {PeeringClassification.REMOTE}:
+            return "remote"
+        return "hybrid"
+
+    def __len__(self) -> int:
+        return len(self.results)

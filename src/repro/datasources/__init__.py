@@ -1,0 +1,61 @@
+"""Simulated public data sources and their merge.
+
+The paper assembles its IXP dataset from IXP websites (Euro-IX exports),
+Hurricane Electric, PeeringDB, Packet Clearing House and Inflect, resolving
+conflicts with the preference order ``websites > HE > PDB > PCH`` (Table 1),
+and obtains AS attributes from CAIDA (customer cones) and APNIC (user
+populations).
+
+Each module here produces a *noisy, incomplete view* of the ground-truth
+:class:`~repro.topology.world.World`: records can be missing, stale or plainly
+wrong, with rates controlled by
+:class:`~repro.config.DataSourceNoiseConfig`.  The merge in
+:mod:`repro.datasources.merge` recombines those views exactly the way the
+paper does and exposes the resulting
+:class:`~repro.datasources.merge.ObservedDataset` — the only topology
+information the inference pipeline is allowed to see.
+"""
+
+from repro.datasources.records import (
+    ASFacilityRecord,
+    FacilityRecord,
+    InterfaceRecord,
+    PortCapacityRecord,
+    PrefixRecord,
+    SourceName,
+    SourceSnapshot,
+)
+from repro.datasources.ixp_websites import IXPWebsiteSource
+from repro.datasources.hurricane import HurricaneElectricSource
+from repro.datasources.peeringdb import PeeringDBSource
+from repro.datasources.pch import PacketClearingHouseSource
+from repro.datasources.inflect import InflectSource
+from repro.datasources.caida import CAIDASource
+from repro.datasources.apnic import APNICSource
+from repro.datasources.merge import (
+    DatasetMerger,
+    MergeStatistics,
+    ObservedDataset,
+    build_observed_dataset,
+)
+
+__all__ = [
+    "ASFacilityRecord",
+    "FacilityRecord",
+    "InterfaceRecord",
+    "PortCapacityRecord",
+    "PrefixRecord",
+    "SourceName",
+    "SourceSnapshot",
+    "IXPWebsiteSource",
+    "HurricaneElectricSource",
+    "PeeringDBSource",
+    "PacketClearingHouseSource",
+    "InflectSource",
+    "CAIDASource",
+    "APNICSource",
+    "DatasetMerger",
+    "MergeStatistics",
+    "ObservedDataset",
+    "build_observed_dataset",
+]

@@ -1,0 +1,31 @@
+"""Simulated APNIC user-population estimates.
+
+APNIC Labs publishes per-AS estimates of served user populations; the paper
+uses them (alongside customer cones and traffic levels) to compare local,
+remote and hybrid IXP members.  The simulated source reports the ground-truth
+populations with a small multiplicative estimation error.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import DataSourceNoiseConfig
+from repro.topology.world import World
+
+
+class APNICSource:
+    """Per-AS user-population estimates with mild estimation noise."""
+
+    def __init__(self, world: World, noise: DataSourceNoiseConfig | None = None) -> None:
+        self.world = world
+        self.noise = noise or DataSourceNoiseConfig()
+        self._rng = random.Random(world.seed * 31 + self.noise.seed_offset)
+
+    def snapshot(self) -> dict[int, int]:
+        """Return estimated user population per ASN."""
+        estimates: dict[int, int] = {}
+        for asn, system in self.world.ases.items():
+            error = self._rng.uniform(0.85, 1.15)
+            estimates[asn] = int(system.user_population * error)
+        return estimates

@@ -1,0 +1,60 @@
+"""Common machinery for simulated data sources.
+
+Every simulated database derives from :class:`SimulatedSource`, which holds
+the ground-truth world, the noise configuration and a private random stream
+(seeded from the world seed plus a per-source offset, so that adding one
+source never perturbs another source's noise).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from abc import ABC, abstractmethod
+
+from repro.config import DataSourceNoiseConfig
+from repro.datasources.records import SourceName, SourceSnapshot
+from repro.exceptions import DataSourceError
+from repro.geo.coordinates import GeoPoint, offset_point
+from repro.topology.world import World
+
+
+class SimulatedSource(ABC):
+    """Base class of all simulated databases."""
+
+    #: Which database this class simulates; subclasses must override.
+    source_name: SourceName
+
+    def __init__(self, world: World, noise: DataSourceNoiseConfig | None = None) -> None:
+        if not world.memberships:
+            raise DataSourceError("cannot snapshot a world with no IXP memberships")
+        self.world = world
+        self.noise = noise or DataSourceNoiseConfig()
+        # Derive a per-source seed that is stable across interpreter runs
+        # (``hash(str)`` is randomised, so CRC32 is used instead).
+        source_tag = zlib.crc32(self.source_name.value.encode("utf-8"))
+        self._rng = random.Random(world.seed * 1_000_003 + self.noise.seed_offset * 97 + source_tag)
+
+    @abstractmethod
+    def snapshot(self) -> SourceSnapshot:
+        """Produce this source's (noisy) view of the world."""
+
+    # ------------------------------------------------------------------ #
+    # Noise helpers shared by the subclasses
+    # ------------------------------------------------------------------ #
+    def _keep(self, probability: float) -> bool:
+        """Bernoulli draw used for coverage decisions."""
+        return self._rng.random() < probability
+
+    def _wrong_asn(self, correct_asn: int) -> int:
+        """Pick a different ASN from the world to model a conflicting record."""
+        candidates = [asn for asn in self.world.ases if asn != correct_asn]
+        if not candidates:
+            return correct_asn
+        return self._rng.choice(candidates)
+
+    def _perturbed_location(self, location: GeoPoint, error_km: float) -> GeoPoint:
+        """Shift a location by up to ``error_km`` to model bad geocoding."""
+        distance = self._rng.uniform(error_km * 0.25, error_km)
+        bearing = self._rng.uniform(0.0, 360.0)
+        return offset_point(location, distance_km=distance, bearing_deg=bearing)

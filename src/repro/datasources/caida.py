@@ -1,0 +1,52 @@
+"""Simulated CAIDA AS-relationship / customer-cone dataset.
+
+Section 6.2 of the paper compares the customer cones (from CAIDA's
+AS-relationship dataset) of local, remote and hybrid IXP members.  The
+simulated source exports the ground-truth relationship graph in the same
+"serial-1"-like record format and precomputes cone sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DataSourceNoiseConfig
+from repro.topology.relationships import Relationship, RelationshipEdge
+from repro.topology.world import World
+
+
+@dataclass(frozen=True)
+class ASRelationshipDataset:
+    """The exported relationship dataset plus derived cone sizes."""
+
+    edges: tuple[RelationshipEdge, ...]
+    cone_sizes: dict[int, int]
+
+    def cone_size(self, asn: int) -> int:
+        """Customer-cone size of an AS (1 for stubs and unknown ASes)."""
+        return self.cone_sizes.get(asn, 1)
+
+
+class CAIDASource:
+    """Exports AS relationships and customer cones from the ground truth.
+
+    CAIDA's inference is treated as accurate at the granularity this
+    reproduction needs, so no noise is injected; the class exists to keep the
+    inference/analysis layers consuming *datasets*, never the world directly.
+    """
+
+    def __init__(self, world: World, noise: DataSourceNoiseConfig | None = None) -> None:
+        self.world = world
+        self.noise = noise or DataSourceNoiseConfig()
+
+    def snapshot(self) -> ASRelationshipDataset:
+        """Export the relationship edges and cone sizes."""
+        edges = tuple(self.world.relationships.edges())
+        cone_sizes = self.world.relationships.all_cone_sizes()
+        return ASRelationshipDataset(edges=edges, cone_sizes=cone_sizes)
+
+    @staticmethod
+    def serialize_edge(edge: RelationshipEdge) -> str:
+        """Render one edge in CAIDA's ``as1|as2|rel`` text format."""
+        rel = -1 if edge.relationship is Relationship.CUSTOMER_TO_PROVIDER else 0
+        return f"{edge.first_asn}|{edge.second_asn}|{rel}"

@@ -1,0 +1,45 @@
+"""Simulated Hurricane Electric Internet Exchange Report.
+
+HE aggregates IXP membership information from BGP and third parties.  Its
+coverage of IXP interfaces is the widest of the public databases, with a
+small rate of stale or misattributed entries (the "conflicts" of Table 1).
+"""
+
+from __future__ import annotations
+
+from repro.datasources.base import SimulatedSource
+from repro.datasources.records import (
+    InterfaceRecord,
+    PrefixRecord,
+    SourceName,
+    SourceSnapshot,
+)
+
+
+class HurricaneElectricSource(SimulatedSource):
+    """Wide interface coverage, small conflict rate."""
+
+    source_name = SourceName.HE
+
+    def snapshot(self) -> SourceSnapshot:
+        snapshot = SourceSnapshot(source=self.source_name)
+        for ixp in self.world.ixps.values():
+            if self._keep(self.noise.he_prefix_coverage):
+                snapshot.prefixes.append(
+                    PrefixRecord(prefix=ixp.peering_lan, ixp_id=ixp.ixp_id, source=self.source_name)
+                )
+            for membership in self.world.active_memberships(ixp.ixp_id):
+                if not self._keep(self.noise.he_interface_coverage):
+                    continue
+                asn = membership.asn
+                if self._keep(self.noise.he_conflict_rate):
+                    asn = self._wrong_asn(asn)
+                snapshot.interfaces.append(
+                    InterfaceRecord(
+                        ip=membership.interface_ip,
+                        asn=asn,
+                        ixp_id=ixp.ixp_id,
+                        source=self.source_name,
+                    )
+                )
+        return snapshot

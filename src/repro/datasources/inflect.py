@@ -1,0 +1,36 @@
+"""Simulated Inflect facility database.
+
+Inflect provides independently verified facility information; the paper uses
+it to cross-check and correct the geographic coordinates of PeeringDB
+facilities (308 of 1,078 facilities were corrected).  Here the source simply
+reports the *true* coordinates for a configurable fraction of facilities; the
+merger prefers these over PeeringDB's possibly-perturbed coordinates.
+"""
+
+from __future__ import annotations
+
+from repro.datasources.base import SimulatedSource
+from repro.datasources.records import FacilityRecord, SourceName, SourceSnapshot
+
+
+class InflectSource(SimulatedSource):
+    """Accurate facility coordinates for a subset of facilities."""
+
+    source_name = SourceName.INFLECT
+
+    def snapshot(self) -> SourceSnapshot:
+        snapshot = SourceSnapshot(source=self.source_name)
+        for facility in self.world.facilities.values():
+            if not self._keep(self.noise.inflect_correction_rate):
+                continue
+            snapshot.facilities.append(
+                FacilityRecord(
+                    facility_id=facility.facility_id,
+                    name=facility.name,
+                    city=facility.city,
+                    country=facility.country,
+                    location=facility.location,
+                    source=self.source_name,
+                )
+            )
+        return snapshot

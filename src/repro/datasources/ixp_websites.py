@@ -1,0 +1,69 @@
+"""Simulated IXP websites (Euro-IX style machine-readable exports).
+
+The paper treats IXP websites as the most reliable source: member lists and
+port capacities come straight from the operator, the pricing section reveals
+the minimum physical port capacity (the ``Cmin`` of Step 1), and for the
+50 largest IXPs the authors manually extracted facility lists.
+
+Not every IXP publishes a machine-readable export, which is modelled by
+``DataSourceNoiseConfig.website_publication_rate``; the records that *are*
+published are accurate.
+"""
+
+from __future__ import annotations
+
+from repro.datasources.base import SimulatedSource
+from repro.datasources.records import (
+    InterfaceRecord,
+    PortCapacityRecord,
+    PrefixRecord,
+    SourceName,
+    SourceSnapshot,
+)
+
+
+class IXPWebsiteSource(SimulatedSource):
+    """Produces the website view: accurate but only for publishing IXPs."""
+
+    source_name = SourceName.WEBSITE
+
+    def snapshot(self) -> SourceSnapshot:
+        snapshot = SourceSnapshot(source=self.source_name)
+        ixps_by_size = self.world.ixps_by_member_count()
+        top_n = {ixp.ixp_id for ixp in ixps_by_size[: self.noise.website_facility_list_top_n]}
+
+        for ixp in ixps_by_size:
+            publishes = self._keep(self.noise.website_publication_rate)
+            # Pricing pages (and therefore Cmin) are available for almost every
+            # exchange, including ones without machine-readable member lists.
+            if publishes or self._keep(0.90):
+                snapshot.min_physical_capacity[ixp.ixp_id] = ixp.min_physical_capacity_mbps
+            # Facility lists are published (or manually extracted by the
+            # authors) for the largest exchanges even without a member export.
+            if ixp.ixp_id in top_n:
+                snapshot.ixp_facilities[ixp.ixp_id] = set(ixp.facility_ids)
+            if not publishes:
+                continue
+
+            snapshot.prefixes.append(
+                PrefixRecord(prefix=ixp.peering_lan, ixp_id=ixp.ixp_id, source=self.source_name)
+            )
+            for membership in self.world.active_memberships(ixp.ixp_id):
+                snapshot.interfaces.append(
+                    InterfaceRecord(
+                        ip=membership.interface_ip,
+                        asn=membership.asn,
+                        ixp_id=ixp.ixp_id,
+                        source=self.source_name,
+                    )
+                )
+                if self._keep(self.noise.website_port_capacity_rate):
+                    snapshot.port_capacities.append(
+                        PortCapacityRecord(
+                            ixp_id=ixp.ixp_id,
+                            asn=membership.asn,
+                            capacity_mbps=membership.port_capacity_mbps,
+                            source=self.source_name,
+                        )
+                    )
+        return snapshot

@@ -1,0 +1,325 @@
+"""Merging the simulated data sources into the observed dataset.
+
+The paper resolves conflicting records with a fixed preference order —
+``IXP websites > Hurricane Electric > PeeringDB > PCH`` — and reports, per
+source, the total, unique and conflicting entries (Table 1).  This module
+re-implements exactly that merge and produces:
+
+* an :class:`ObservedDataset` — the *only* topology knowledge the inference
+  pipeline is allowed to use (interfaces, prefixes, colocation, coordinates,
+  port capacities, per-AS attributes), and
+* a :class:`MergeStatistics` record that regenerates Table 1.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+
+from repro.datasources.records import SourceName, SourceSnapshot
+from repro.exceptions import DataSourceError
+from repro.geo.coordinates import GeoPoint
+from repro.topology.entities import TrafficLevel
+
+#: Preference order used to resolve conflicting records (highest first).
+SOURCE_PREFERENCE: tuple[SourceName, ...] = (
+    SourceName.WEBSITE,
+    SourceName.HE,
+    SourceName.PDB,
+    SourceName.PCH,
+)
+
+
+@dataclass
+class SourceContribution:
+    """Per-source contribution counters (one row of Table 1)."""
+
+    source: SourceName
+    prefixes_total: int = 0
+    prefixes_unique: int = 0
+    prefixes_conflicts: int = 0
+    interfaces_total: int = 0
+    interfaces_unique: int = 0
+    interfaces_conflicts: int = 0
+
+    @property
+    def interface_conflict_rate(self) -> float:
+        """Fraction of this source's interface records that conflict."""
+        if self.interfaces_total == 0:
+            return 0.0
+        return self.interfaces_conflicts / self.interfaces_total
+
+
+@dataclass
+class MergeStatistics:
+    """Aggregated merge statistics (Table 1)."""
+
+    contributions: dict[SourceName, SourceContribution] = field(default_factory=dict)
+    total_prefixes: int = 0
+    total_interfaces: int = 0
+
+    def rows(self) -> list[dict[str, object]]:
+        """Render the statistics as Table 1-style rows."""
+        rows: list[dict[str, object]] = []
+        for source in SOURCE_PREFERENCE:
+            if source not in self.contributions:
+                continue
+            c = self.contributions[source]
+            rows.append(
+                {
+                    "source": source.value,
+                    "prefixes_total": c.prefixes_total,
+                    "prefixes_unique": c.prefixes_unique,
+                    "prefixes_conflicts": c.prefixes_conflicts,
+                    "interfaces_total": c.interfaces_total,
+                    "interfaces_unique": c.interfaces_unique,
+                    "interfaces_conflicts": c.interfaces_conflicts,
+                }
+            )
+        rows.append(
+            {
+                "source": "Total",
+                "prefixes_total": self.total_prefixes,
+                "prefixes_unique": "",
+                "prefixes_conflicts": "",
+                "interfaces_total": self.total_interfaces,
+                "interfaces_unique": "",
+                "interfaces_conflicts": "",
+            }
+        )
+        return rows
+
+
+@dataclass
+class ObservedDataset:
+    """The merged view of the world that inference and analysis consume."""
+
+    ixp_prefixes: dict[str, str] = field(default_factory=dict)
+    interface_ixp: dict[str, str] = field(default_factory=dict)
+    interface_asn: dict[str, int] = field(default_factory=dict)
+    ixp_facilities: dict[str, set[str]] = field(default_factory=dict)
+    as_facilities: dict[int, set[str]] = field(default_factory=dict)
+    facility_locations: dict[str, GeoPoint] = field(default_factory=dict)
+    port_capacities: dict[tuple[str, int], int] = field(default_factory=dict)
+    min_physical_capacity: dict[str, int] = field(default_factory=dict)
+    traffic_levels: dict[int, TrafficLevel] = field(default_factory=dict)
+    user_populations: dict[int, int] = field(default_factory=dict)
+    customer_cone_sizes: dict[int, int] = field(default_factory=dict)
+    countries: dict[int, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Interface / prefix lookups
+    # ------------------------------------------------------------------ #
+    def ixp_ids(self) -> list[str]:
+        """All IXPs present in the merged dataset."""
+        return sorted(set(self.ixp_prefixes.values()) | set(self.ixp_facilities))
+
+    def interfaces_of_ixp(self, ixp_id: str) -> dict[str, int]:
+        """IP -> member ASN for one IXP."""
+        return {
+            ip: self.interface_asn[ip]
+            for ip, owner in self.interface_ixp.items()
+            if owner == ixp_id
+        }
+
+    def members_of_ixp(self, ixp_id: str) -> set[int]:
+        """The member ASNs observed at one IXP."""
+        return set(self.interfaces_of_ixp(ixp_id).values())
+
+    def asn_of_interface(self, ip: str) -> int | None:
+        """Member ASN owning an IXP interface, if known."""
+        return self.interface_asn.get(ip)
+
+    def ixp_of_interface(self, ip: str) -> str | None:
+        """IXP whose peering LAN contains an interface, if known."""
+        return self.interface_ixp.get(ip)
+
+    def ixp_for_ip(self, ip: str) -> str | None:
+        """Longest-prefix match of an arbitrary IP against the known LANs."""
+        address = ipaddress.ip_address(ip)
+        for prefix, ixp_id in self.ixp_prefixes.items():
+            if address in ipaddress.ip_network(prefix):
+                return ixp_id
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Colocation lookups
+    # ------------------------------------------------------------------ #
+    def facilities_of_ixp(self, ixp_id: str) -> set[str]:
+        """Observed facilities of one IXP (may be incomplete)."""
+        return set(self.ixp_facilities.get(ixp_id, set()))
+
+    def facilities_of_as(self, asn: int) -> set[str]:
+        """Observed facilities of one AS (may be incomplete or spurious)."""
+        return set(self.as_facilities.get(asn, set()))
+
+    def facility_location(self, facility_id: str) -> GeoPoint | None:
+        """Best-known coordinates of a facility."""
+        return self.facility_locations.get(facility_id)
+
+    def common_facilities(self, ixp_id: str, asn: int) -> set[str]:
+        """Facilities shared by an IXP and a member AS, as observed."""
+        return self.facilities_of_ixp(ixp_id) & self.facilities_of_as(asn)
+
+    # ------------------------------------------------------------------ #
+    # Port capacities
+    # ------------------------------------------------------------------ #
+    def port_capacity(self, ixp_id: str, asn: int) -> int | None:
+        """Observed port capacity of a member at an IXP (Mbit/s), if known."""
+        return self.port_capacities.get((ixp_id, asn))
+
+    def min_capacity(self, ixp_id: str) -> int | None:
+        """Minimum physical port capacity advertised by the IXP, if known."""
+        return self.min_physical_capacity.get(ixp_id)
+
+
+class DatasetMerger:
+    """Merges source snapshots with the paper's preference order."""
+
+    def __init__(self, snapshots: list[SourceSnapshot]) -> None:
+        if not snapshots:
+            raise DataSourceError("at least one source snapshot is required")
+        self.snapshots = snapshots
+        self._by_source = {snapshot.source: snapshot for snapshot in snapshots}
+
+    def merge(self) -> tuple[ObservedDataset, MergeStatistics]:
+        """Merge every snapshot into one observed dataset plus Table 1 stats."""
+        dataset = ObservedDataset()
+        statistics = MergeStatistics()
+
+        ordered = [s for s in SOURCE_PREFERENCE if s in self._by_source]
+        extra = [s.source for s in self.snapshots if s.source not in SOURCE_PREFERENCE]
+
+        self._merge_prefixes_and_interfaces(dataset, statistics, ordered)
+        self._merge_facilities(dataset, ordered + extra)
+        self._merge_colocation(dataset, ordered)
+        self._merge_capacities(dataset, ordered)
+        self._merge_attributes(dataset, ordered)
+        return dataset, statistics
+
+    # ------------------------------------------------------------------ #
+    def _merge_prefixes_and_interfaces(
+        self,
+        dataset: ObservedDataset,
+        statistics: MergeStatistics,
+        ordered: list[SourceName],
+    ) -> None:
+        prefix_values: dict[str, dict[SourceName, str]] = {}
+        interface_values: dict[str, dict[SourceName, tuple[str, int]]] = {}
+
+        for source in ordered:
+            snapshot = self._by_source[source]
+            for record in snapshot.prefixes:
+                prefix_values.setdefault(record.prefix, {})[source] = record.ixp_id
+            for record in snapshot.interfaces:
+                interface_values.setdefault(record.ip, {})[source] = (record.ixp_id, record.asn)
+
+        for source in ordered:
+            statistics.contributions[source] = SourceContribution(source=source)
+
+        for prefix, per_source in prefix_values.items():
+            chosen_source = next(s for s in ordered if s in per_source)
+            dataset.ixp_prefixes[prefix] = per_source[chosen_source]
+            for source, value in per_source.items():
+                contribution = statistics.contributions[source]
+                contribution.prefixes_total += 1
+                if len(per_source) == 1:
+                    contribution.prefixes_unique += 1
+                if value != per_source[chosen_source]:
+                    contribution.prefixes_conflicts += 1
+
+        for ip, per_source in interface_values.items():
+            chosen_source = next(s for s in ordered if s in per_source)
+            ixp_id, asn = per_source[chosen_source]
+            dataset.interface_ixp[ip] = ixp_id
+            dataset.interface_asn[ip] = asn
+            for source, value in per_source.items():
+                contribution = statistics.contributions[source]
+                contribution.interfaces_total += 1
+                if len(per_source) == 1:
+                    contribution.interfaces_unique += 1
+                if value != per_source[chosen_source]:
+                    contribution.interfaces_conflicts += 1
+
+        statistics.total_prefixes = len(dataset.ixp_prefixes)
+        statistics.total_interfaces = len(dataset.interface_ixp)
+
+    def _merge_facilities(self, dataset: ObservedDataset, sources: list[SourceName]) -> None:
+        # PeeringDB provides the base coordinates; Inflect corrections win.
+        for source in (SourceName.PCH, SourceName.PDB, SourceName.HE, SourceName.WEBSITE):
+            if source not in self._by_source:
+                continue
+            for record in self._by_source[source].facilities:
+                dataset.facility_locations[record.facility_id] = record.location
+        if SourceName.INFLECT in self._by_source:
+            for record in self._by_source[SourceName.INFLECT].facilities:
+                dataset.facility_locations[record.facility_id] = record.location
+
+    def _merge_colocation(self, dataset: ObservedDataset, ordered: list[SourceName]) -> None:
+        inflect = self._by_source.get(SourceName.INFLECT)
+        snapshots = [self._by_source[s] for s in ordered]
+        if inflect is not None:
+            snapshots.append(inflect)
+        for snapshot in snapshots:
+            for ixp_id, facility_ids in snapshot.ixp_facilities.items():
+                dataset.ixp_facilities.setdefault(ixp_id, set()).update(facility_ids)
+            for record in snapshot.as_facilities:
+                dataset.as_facilities.setdefault(record.asn, set()).add(record.facility_id)
+
+    def _merge_capacities(self, dataset: ObservedDataset, ordered: list[SourceName]) -> None:
+        # Lower-preference sources first so higher-preference records overwrite.
+        for source in reversed(ordered):
+            snapshot = self._by_source[source]
+            for record in snapshot.port_capacities:
+                dataset.port_capacities[(record.ixp_id, record.asn)] = record.capacity_mbps
+            for ixp_id, capacity in snapshot.min_physical_capacity.items():
+                dataset.min_physical_capacity[ixp_id] = capacity
+
+    def _merge_attributes(self, dataset: ObservedDataset, ordered: list[SourceName]) -> None:
+        for source in reversed(ordered):
+            snapshot = self._by_source[source]
+            dataset.traffic_levels.update(snapshot.traffic_levels)
+            dataset.user_populations.update(snapshot.user_populations)
+            dataset.countries.update(snapshot.countries)
+
+
+def build_observed_dataset(
+    world,
+    noise=None,
+    *,
+    include_caida: bool = True,
+    include_apnic: bool = True,
+) -> tuple[ObservedDataset, MergeStatistics]:
+    """Convenience helper: snapshot every source and merge them.
+
+    Parameters
+    ----------
+    world:
+        The ground-truth :class:`~repro.topology.world.World`.
+    noise:
+        Optional :class:`~repro.config.DataSourceNoiseConfig`.
+    include_caida / include_apnic:
+        Whether to attach customer cones and user populations (analysis-only
+        attributes) to the observed dataset.
+    """
+    from repro.datasources.apnic import APNICSource
+    from repro.datasources.caida import CAIDASource
+    from repro.datasources.hurricane import HurricaneElectricSource
+    from repro.datasources.inflect import InflectSource
+    from repro.datasources.ixp_websites import IXPWebsiteSource
+    from repro.datasources.pch import PacketClearingHouseSource
+    from repro.datasources.peeringdb import PeeringDBSource
+
+    snapshots = [
+        IXPWebsiteSource(world, noise).snapshot(),
+        HurricaneElectricSource(world, noise).snapshot(),
+        PeeringDBSource(world, noise).snapshot(),
+        PacketClearingHouseSource(world, noise).snapshot(),
+        InflectSource(world, noise).snapshot(),
+    ]
+    dataset, statistics = DatasetMerger(snapshots).merge()
+    if include_caida:
+        dataset.customer_cone_sizes = CAIDASource(world, noise).snapshot().cone_sizes
+    if include_apnic:
+        dataset.user_populations = APNICSource(world, noise).snapshot()
+    return dataset, statistics

@@ -1,0 +1,45 @@
+"""Simulated Packet Clearing House IXP directory.
+
+PCH publishes an IXP directory with peering-LAN prefixes and a subset of
+member interfaces (derived from its route collectors); interface coverage is
+the lowest of the four sources merged in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.datasources.base import SimulatedSource
+from repro.datasources.records import (
+    InterfaceRecord,
+    PrefixRecord,
+    SourceName,
+    SourceSnapshot,
+)
+
+
+class PacketClearingHouseSource(SimulatedSource):
+    """Low coverage, small conflict rate."""
+
+    source_name = SourceName.PCH
+
+    def snapshot(self) -> SourceSnapshot:
+        snapshot = SourceSnapshot(source=self.source_name)
+        for ixp in self.world.ixps.values():
+            if self._keep(self.noise.pch_prefix_coverage):
+                snapshot.prefixes.append(
+                    PrefixRecord(prefix=ixp.peering_lan, ixp_id=ixp.ixp_id, source=self.source_name)
+                )
+            for membership in self.world.active_memberships(ixp.ixp_id):
+                if not self._keep(self.noise.pch_interface_coverage):
+                    continue
+                asn = membership.asn
+                if self._keep(self.noise.pch_conflict_rate):
+                    asn = self._wrong_asn(asn)
+                snapshot.interfaces.append(
+                    InterfaceRecord(
+                        ip=membership.interface_ip,
+                        asn=asn,
+                        ixp_id=ixp.ixp_id,
+                        source=self.source_name,
+                    )
+                )
+        return snapshot

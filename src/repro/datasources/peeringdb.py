@@ -1,0 +1,150 @@
+"""Simulated PeeringDB.
+
+PeeringDB is the richest of the public databases: besides peering-LAN
+prefixes and member interfaces, it records colocation facilities (with
+geographic coordinates), which facilities each IXP and each network is
+present at, member port capacities, and self-reported traffic levels.
+
+It is also the noisiest in exactly the ways the paper calls out:
+
+* facility lists for networks are incomplete (no data at all for ~18% of
+  remote peers and ~4% of local peers in the control dataset, Fig. 5);
+* some remote peers list the facility of their *port reseller* instead of a
+  facility they actually occupy (the 5% artefact of Section 5.1.2);
+* facility coordinates are occasionally wrong (corrected later by Inflect);
+* a small fraction of interface records carries the wrong ASN.
+"""
+
+from __future__ import annotations
+
+from repro.datasources.base import SimulatedSource
+from repro.datasources.records import (
+    ASFacilityRecord,
+    FacilityRecord,
+    InterfaceRecord,
+    PortCapacityRecord,
+    PrefixRecord,
+    SourceName,
+    SourceSnapshot,
+)
+from repro.topology.entities import ConnectionKind
+
+
+class PeeringDBSource(SimulatedSource):
+    """Rich but noisy view: facilities, colocation, capacities, traffic."""
+
+    source_name = SourceName.PDB
+
+    def snapshot(self) -> SourceSnapshot:
+        snapshot = SourceSnapshot(source=self.source_name)
+        self._add_prefixes_and_interfaces(snapshot)
+        self._add_facilities(snapshot)
+        self._add_ixp_facilities(snapshot)
+        self._add_as_facilities(snapshot)
+        self._add_port_capacities(snapshot)
+        self._add_network_attributes(snapshot)
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    def _add_prefixes_and_interfaces(self, snapshot: SourceSnapshot) -> None:
+        for ixp in self.world.ixps.values():
+            if self._keep(self.noise.pdb_prefix_coverage):
+                snapshot.prefixes.append(
+                    PrefixRecord(prefix=ixp.peering_lan, ixp_id=ixp.ixp_id, source=self.source_name)
+                )
+            for membership in self.world.active_memberships(ixp.ixp_id):
+                if not self._keep(self.noise.pdb_interface_coverage):
+                    continue
+                asn = membership.asn
+                if self._keep(self.noise.pdb_conflict_rate):
+                    asn = self._wrong_asn(asn)
+                snapshot.interfaces.append(
+                    InterfaceRecord(
+                        ip=membership.interface_ip,
+                        asn=asn,
+                        ixp_id=ixp.ixp_id,
+                        source=self.source_name,
+                    )
+                )
+
+    def _add_facilities(self, snapshot: SourceSnapshot) -> None:
+        for facility in self.world.facilities.values():
+            location = facility.location
+            if self._keep(self.noise.facility_coordinate_error_rate):
+                location = self._perturbed_location(
+                    location, self.noise.facility_coordinate_error_km
+                )
+            snapshot.facilities.append(
+                FacilityRecord(
+                    facility_id=facility.facility_id,
+                    name=facility.name,
+                    city=facility.city,
+                    country=facility.country,
+                    location=location,
+                    source=self.source_name,
+                )
+            )
+
+    def _add_ixp_facilities(self, snapshot: SourceSnapshot) -> None:
+        for ixp in self.world.ixps.values():
+            listed = {fid for fid in ixp.facility_ids if self._keep(0.92)}
+            if not listed and ixp.facility_ids:
+                listed = {sorted(ixp.facility_ids)[0]}
+            snapshot.ixp_facilities[ixp.ixp_id] = listed
+
+    def _add_as_facilities(self, snapshot: SourceSnapshot) -> None:
+        memberships_by_asn: dict[int, list] = {}
+        for membership in self.world.memberships:
+            memberships_by_asn.setdefault(membership.asn, []).append(membership)
+
+        for asn, system in self.world.ases.items():
+            memberships = memberships_by_asn.get(asn, [])
+            has_remote = any(m.is_remote for m in memberships)
+            if memberships:
+                missing_rate = (
+                    self.noise.facility_missing_rate_remote
+                    if has_remote
+                    else self.noise.facility_missing_rate_local
+                )
+            else:
+                missing_rate = 0.15
+            if self._keep(missing_rate):
+                continue  # the network has no facility data at all
+            for facility_id in sorted(system.facility_ids):
+                if self._keep(0.93):
+                    snapshot.as_facilities.append(
+                        ASFacilityRecord(asn=asn, facility_id=facility_id, source=self.source_name)
+                    )
+            # Spurious entry: a remote reseller customer listing the facility
+            # where its reseller hands off traffic to the IXP.
+            reseller_memberships = [
+                m for m in memberships if m.connection is ConnectionKind.REMOTE_RESELLER
+            ]
+            if reseller_memberships and self._keep(self.noise.facility_spurious_reseller_rate):
+                membership = self._rng.choice(reseller_memberships)
+                ixp = self.world.ixps[membership.ixp_id]
+                if ixp.facility_ids:
+                    spurious = self._rng.choice(sorted(ixp.facility_ids))
+                    snapshot.as_facilities.append(
+                        ASFacilityRecord(asn=asn, facility_id=spurious, source=self.source_name)
+                    )
+
+    def _add_port_capacities(self, snapshot: SourceSnapshot) -> None:
+        for membership in self.world.memberships:
+            if membership.departed_month is not None:
+                continue
+            if self._keep(self.noise.pdb_port_capacity_coverage):
+                snapshot.port_capacities.append(
+                    PortCapacityRecord(
+                        ixp_id=membership.ixp_id,
+                        asn=membership.asn,
+                        capacity_mbps=membership.port_capacity_mbps,
+                        source=self.source_name,
+                    )
+                )
+
+    def _add_network_attributes(self, snapshot: SourceSnapshot) -> None:
+        for asn, system in self.world.ases.items():
+            if self._keep(self.noise.pdb_traffic_coverage):
+                snapshot.traffic_levels[asn] = system.traffic_level
+            snapshot.countries[asn] = system.country

@@ -1,0 +1,60 @@
+"""Simulated Routeviews ``prefix2as`` dataset.
+
+Step 5 of the paper performs IP-to-AS mapping of traceroute hops using
+CAIDA's Routeviews prefix-to-AS dataset.  The simulated equivalent exports
+the routed prefixes originated by each AS plus the per-AS infrastructure
+blocks, and offers a fast longest-prefix-match lookup.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+
+from repro.topology.world import World
+
+
+@dataclass
+class Prefix2ASMap:
+    """Longest-prefix-match IP-to-AS mapping.
+
+    The map indexes prefixes by length so that a lookup is a handful of
+    dictionary probes instead of a scan over every prefix.
+    """
+
+    _by_length: dict[int, dict[int, int]] = field(default_factory=dict)
+
+    def add(self, prefix: str, asn: int) -> None:
+        """Register one prefix -> ASN mapping."""
+        network = ipaddress.ip_network(prefix)
+        bucket = self._by_length.setdefault(network.prefixlen, {})
+        bucket[int(network.network_address)] = asn
+
+    def lookup(self, ip: str) -> int | None:
+        """Return the ASN originating the longest matching prefix, if any."""
+        address = int(ipaddress.ip_address(ip))
+        for length in sorted(self._by_length, reverse=True):
+            key = (address >> (32 - length)) << (32 - length) if length < 32 else address
+            asn = self._by_length[length].get(key)
+            if asn is not None:
+                return asn
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._by_length.values())
+
+
+class Prefix2ASSource:
+    """Builds a :class:`Prefix2ASMap` from the world's address plan."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+
+    def snapshot(self) -> Prefix2ASMap:
+        """Export routed and infrastructure prefixes as an IP-to-AS map."""
+        mapping = Prefix2ASMap()
+        for prefix, asn in self.world.routed_prefixes.items():
+            mapping.add(prefix, asn)
+        for prefix, asn in self.world.infrastructure_prefixes.items():
+            mapping.add(prefix, asn)
+        return mapping

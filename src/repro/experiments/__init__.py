@@ -1,0 +1,31 @@
+"""Experiment modules regenerating every table and figure of the paper.
+
+Each module exposes a ``run(study)`` function taking a
+:class:`~repro.study.RemotePeeringStudy` and returning an
+:class:`~repro.experiments.base.ExperimentResult` whose rows mirror the
+structure of the corresponding paper artefact.  The
+:mod:`repro.experiments.runner` module runs them all and renders
+``EXPERIMENTS.md``-style reports.
+
+| module      | paper artefact                                             |
+|-------------|------------------------------------------------------------|
+| table1      | Table 1 — dataset contribution per source                  |
+| table2      | Table 2 — validation dataset                                |
+| table4      | Table 4 — per-step and combined validation metrics         |
+| table5      | Table 5 — ping campaign statistics                         |
+| fig1        | Fig. 1a/1b — facility distributions, control RTT ECDFs     |
+| fig2        | Fig. 2a/2b — wide-area IXP delays and prevalence           |
+| fig4_fig5   | Fig. 4/5 — port capacities and facility counts             |
+| fig6        | Fig. 6 — inter-facility RTT vs distance bounds             |
+| fig7        | Fig. 7 — feasible-ring worked example                      |
+| fig8        | Fig. 8 — per-IXP validation metrics                        |
+| fig9        | Fig. 9a-d — measurement and inference diagnostics          |
+| fig10       | Fig. 10a/10b — step contributions and inferences per IXP   |
+| fig11       | Fig. 11a/11b — member features per class                   |
+| fig12       | Fig. 12a/12b — RP evolution and traceroute RTT comparison  |
+| sec64       | Section 6.4 — routing implications                         |
+"""
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,115 @@
+"""Common result container and text rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ReproError
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment (one paper table or figure).
+
+    Attributes
+    ----------
+    experiment_id:
+        Short identifier, e.g. ``"table4"`` or ``"fig10b"``.
+    title:
+        Human-readable title.
+    paper_reference:
+        Which table/figure/section of the paper this reproduces.
+    headline:
+        The few scalar numbers the paper's text highlights for this artefact
+        (e.g. "28% of interfaces are remote").
+    rows:
+        Tabular data mirroring the artefact's structure.
+    notes:
+        Caveats, substitutions, interpretation help.
+    """
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    headline: dict[str, object] = field(default_factory=dict)
+    rows: list[dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    # ------------------------------------------------------------------ #
+    def columns(self) -> list[str]:
+        """Union of row keys, in first-seen order."""
+        columns: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        return columns
+
+    def to_text(self, *, max_rows: int | None = 40) -> str:
+        """Render the result as a fixed-width text report."""
+        lines = [f"[{self.experiment_id}] {self.title}",
+                 f"  reproduces: {self.paper_reference}"]
+        if self.headline:
+            lines.append("  headline:")
+            for key, value in self.headline.items():
+                lines.append(f"    - {key}: {_format_value(value)}")
+        if self.rows:
+            columns = self.columns()
+            widths = {c: len(str(c)) for c in columns}
+            shown = self.rows if max_rows is None else self.rows[:max_rows]
+            rendered_rows = []
+            for row in shown:
+                rendered = {c: _format_value(row.get(c, "")) for c in columns}
+                rendered_rows.append(rendered)
+                for c in columns:
+                    widths[c] = max(widths[c], len(rendered[c]))
+            header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+            lines.append("  " + header)
+            lines.append("  " + "-+-".join("-" * widths[c] for c in columns))
+            for rendered in rendered_rows:
+                lines.append("  " + " | ".join(rendered[c].ljust(widths[c]) for c in columns))
+            if max_rows is not None and len(self.rows) > max_rows:
+                lines.append(f"  ... ({len(self.rows) - max_rows} more rows)")
+        if self.notes:
+            lines.append(f"  notes: {self.notes}")
+        return "\n".join(lines)
+
+    def to_markdown(self, *, max_rows: int | None = 40) -> str:
+        """Render the result as a Markdown section."""
+        lines = [f"### {self.experiment_id} — {self.title}",
+                 "",
+                 f"*Reproduces:* {self.paper_reference}",
+                 ""]
+        if self.headline:
+            for key, value in self.headline.items():
+                lines.append(f"- **{key}**: {_format_value(value)}")
+            lines.append("")
+        if self.rows:
+            columns = self.columns()
+            shown = self.rows if max_rows is None else self.rows[:max_rows]
+            lines.append("| " + " | ".join(str(c) for c in columns) + " |")
+            lines.append("|" + "|".join("---" for _ in columns) + "|")
+            for row in shown:
+                lines.append(
+                    "| " + " | ".join(_format_value(row.get(c, "")) for c in columns) + " |")
+            if max_rows is not None and len(self.rows) > max_rows:
+                lines.append(f"| ... {len(self.rows) - max_rows} more rows ... |")
+            lines.append("")
+        if self.notes:
+            lines.append(f"_{self.notes}_")
+            lines.append("")
+        return "\n".join(lines)
+
+    def headline_value(self, key: str) -> object:
+        """Fetch one headline number, raising if missing."""
+        if key not in self.headline:
+            raise ReproError(f"experiment {self.experiment_id} has no headline {key!r}")
+        return self.headline[key]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,61 @@
+"""Fig. 7 — worked feasible-ring example at a geographically distributed IXP."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.study import RemotePeeringStudy
+
+
+def run(study: RemotePeeringStudy) -> ExperimentResult:
+    """Show how measured RTTs translate into feasible facilities for one IXP.
+
+    The paper illustrates this with NL-IX: a vantage point in Amsterdam, a
+    4 ms RTT, and feasible facilities in London and Frankfurt that allow a
+    peer to be correctly inferred local despite the "high" RTT.  Here the
+    studied IXP with the widest observed facility footprint plays that role.
+    """
+    outcome = study.outcome
+    dataset = study.dataset
+    # Prefer the studied IXP whose observed facilities span the most space.
+    candidates = sorted(
+        study.studied_ixp_ids,
+        key=lambda ixp_id: -len(dataset.facilities_of_ixp(ixp_id)),
+    )
+    ixp_id = candidates[0]
+    analyses = [a for (i, _), a in outcome.feasible.items() if i == ixp_id]
+    analyses.sort(key=lambda a: -a.ring.max_distance_km)
+
+    rows = []
+    for analysis in analyses[:20]:
+        observation = outcome.rtt_summary.observation_for(ixp_id, analysis.interface_ip)
+        rows.append(
+            {
+                "interface": analysis.interface_ip,
+                "rtt_min_ms": observation.rtt_min_ms if observation else None,
+                "ring_min_km": analysis.ring.min_distance_km,
+                "ring_max_km": analysis.ring.max_distance_km,
+                "feasible_ixp_facilities": analysis.n_feasible_ixp_facilities,
+                "classification": analysis.classification.value,
+            }
+        )
+    local_with_high_rtt = sum(
+        1 for a in analyses
+        if a.classification.value == "local"
+        and outcome.rtt_summary.observation_for(ixp_id, a.interface_ip) is not None
+        and outcome.rtt_summary.observation_for(ixp_id, a.interface_ip).rtt_min_ms > 2.0
+    )
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Feasible-ring interpretation of RTTs at a distributed IXP",
+        paper_reference="Fig. 7",
+        headline={
+            "ixp": study.world.ixp(ixp_id).name,
+            "interfaces_analysed": len(analyses),
+            "local_despite_rtt_above_2ms": local_with_high_rtt,
+        },
+        rows=rows,
+        notes=(
+            "Members classified local despite RTTs above the naive 2 ms threshold are exactly "
+            "the wide-area false positives the colocation-informed interpretation avoids."
+        ),
+    )

@@ -1,0 +1,42 @@
+"""Fig. 8 — validation results per IXP in the test subset."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.study import RemotePeeringStudy
+from repro.validation.report import per_ixp_metrics
+
+
+def run(study: RemotePeeringStudy) -> ExperimentResult:
+    """Regenerate the per-IXP precision/accuracy bars of Fig. 8."""
+    validation = study.validation
+    test_ixps = validation.test_ixps()
+    metrics = per_ixp_metrics(study.outcome, validation, ixp_ids=test_ixps)
+    sized = sorted(
+        metrics.items(),
+        key=lambda item: -len(study.dataset.members_of_ixp(item[0])),
+    )
+    rows = []
+    for ixp_id, metric in sized:
+        rows.append(
+            {
+                "ixp": study.world.ixp(ixp_id).name,
+                "validated": metric.validated,
+                "precision": metric.precision,
+                "accuracy": metric.accuracy,
+                "coverage": metric.coverage,
+            }
+        )
+    accuracies = [m.accuracy for m in metrics.values() if m.inferred_and_validated > 0]
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Per-IXP validation of the combined methodology",
+        paper_reference="Fig. 8",
+        headline={
+            "test_ixps": len(test_ixps),
+            "min_accuracy": min(accuracies) if accuracies else 0.0,
+            "mean_accuracy": sum(accuracies) / len(accuracies) if accuracies else 0.0,
+        },
+        rows=rows,
+        notes="The paper reports consistently high precision/accuracy, with the lowest around 91-92%.",
+    )

@@ -1,0 +1,145 @@
+"""Fig. 9a-9d — measurement and inference diagnostics."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.ecdf import ECDF
+from repro.core.types import PeeringClassification
+from repro.experiments.base import ExperimentResult
+from repro.measurement.vantage import VantagePointKind
+from repro.study import RemotePeeringStudy
+
+
+def run_fig9a(study: RemotePeeringStudy) -> ExperimentResult:
+    """Fig. 9a: response rates of looking glasses and Atlas probes."""
+    summary = study.outcome.rtt_summary
+    rows = []
+    per_kind: dict[str, list[float]] = {"LG": [], "Atlas": []}
+    for vp_id, vp in sorted(summary.usable_vps.items()):
+        rate = summary.response_rate(vp_id)
+        kind = "LG" if vp.kind is VantagePointKind.LOOKING_GLASS else "Atlas"
+        per_kind[kind].append(rate)
+        rows.append(
+            {
+                "vp_id": vp_id,
+                "kind": kind,
+                "queried": summary.queried_per_vp.get(vp_id, 0),
+                "responsive": summary.responsive_per_vp.get(vp_id, 0),
+                "response_rate": rate,
+            }
+        )
+    headline = {
+        "usable_vps": len(summary.usable_vps),
+        "discarded_vps": len(summary.discarded_vps),
+    }
+    for kind, rates in per_kind.items():
+        if rates:
+            headline[f"mean_response_rate_{kind.lower()}"] = sum(rates) / len(rates)
+    return ExperimentResult(
+        experiment_id="fig9a",
+        title="Response rates of looking glasses and Atlas probes",
+        paper_reference="Fig. 9a",
+        headline=headline,
+        rows=rows,
+        notes="LGs respond more reliably than Atlas probes, as in the paper (95% vs 75%).",
+    )
+
+
+def run_fig9b(study: RemotePeeringStudy) -> ExperimentResult:
+    """Fig. 9b: ECDF of the minimum RTT per responsive IXP interface."""
+    observations = list(study.outcome.rtt_summary.observations.values())
+    rtts = [obs.rtt_min_ms for obs in observations]
+    rows = []
+    headline: dict[str, object] = {"responsive_interfaces": len(rtts)}
+    if rtts:
+        ecdf = ECDF.from_values(rtts)
+        for threshold in (1.0, 2.0, 5.0, 10.0, 50.0):
+            rows.append({"rtt_threshold_ms": threshold,
+                         "share_below": ecdf.fraction_below(threshold)})
+        headline.update(
+            {
+                "share_below_2ms": ecdf.fraction_below(2.0),
+                "share_above_10ms": 1.0 - ecdf.fraction_below(10.0),
+                "median_rtt_ms": ecdf.median,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig9b",
+        title="Minimum RTT ECDF over responsive peering interfaces",
+        paper_reference="Fig. 9b",
+        headline=headline,
+        rows=rows,
+        notes="The paper finds ~75% of interfaces within 2 ms and >20% above 10 ms.",
+    )
+
+
+def run_fig9c(study: RemotePeeringStudy) -> ExperimentResult:
+    """Fig. 9c: inference outcome vs number of feasible IXP facilities."""
+    outcome = study.outcome
+    counts: Counter = Counter()
+    remote_no_feasible = 0
+    remote_total = 0
+    for analysis in outcome.feasible.values():
+        bucket = min(analysis.n_feasible_ixp_facilities, 3)
+        counts[(analysis.classification.value, bucket)] += 1
+        if analysis.classification is PeeringClassification.REMOTE:
+            remote_total += 1
+            if analysis.n_feasible_ixp_facilities == 0:
+                remote_no_feasible += 1
+    rows = []
+    for (classification, bucket), count in sorted(counts.items()):
+        rows.append(
+            {
+                "classification": classification,
+                "feasible_ixp_facilities": bucket if bucket < 3 else "3+",
+                "interfaces": count,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig9c",
+        title="Step 3 outcome vs number of feasible IXP facilities",
+        paper_reference="Fig. 9c",
+        headline={
+            "remote_interfaces_without_feasible_facility": (
+                remote_no_feasible / remote_total if remote_total else 0.0
+            ),
+        },
+        rows=rows,
+        notes="The paper finds 94% of remote interfaces share no feasible facility with the IXP.",
+    )
+
+
+def run_fig9d(study: RemotePeeringStudy) -> ExperimentResult:
+    """Fig. 9d: multi-IXP router types vs number of next-hop IXPs."""
+    routers = study.outcome.multi_ixp_routers
+    rows = []
+    histogram: Counter = Counter()
+    for router in routers:
+        bucket = "2" if router.ixp_count == 2 else "3-5" if router.ixp_count <= 5 else \
+            "6-10" if router.ixp_count <= 10 else ">10"
+        histogram[(router.kind.value, bucket)] += 1
+    for (kind, bucket), count in sorted(histogram.items()):
+        rows.append({"router_kind": kind, "next_hop_ixps": bucket, "routers": count})
+    many_ixps = sum(1 for r in routers if r.ixp_count > 10)
+    return ExperimentResult(
+        experiment_id="fig9d",
+        title="Multi-IXP router types vs number of next-hop IXPs",
+        paper_reference="Fig. 9d",
+        headline={
+            "multi_ixp_routers": len(routers),
+            "routers_with_more_than_10_ixps": many_ixps,
+            "remote_routers": sum(1 for r in routers if r.kind.value == "remote"),
+            "hybrid_routers": sum(1 for r in routers if r.kind.value == "hybrid"),
+        },
+        rows=rows,
+        notes=(
+            "The paper observes that remote multi-IXP routers are more prevalent than hybrid "
+            "ones and that some routers connect to more than ten IXPs."
+        ),
+    )
+
+
+def run(study: RemotePeeringStudy) -> ExperimentResult:
+    """Default entry point: Fig. 9b."""
+    return run_fig9b(study)

@@ -1,0 +1,90 @@
+"""Runs every experiment and renders EXPERIMENTS-style reports."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments import (  # noqa: F401  (re-exported for convenience)
+    base,
+)
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig4_fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    sec64,
+    table1,
+    table2,
+    table4,
+    table5,
+)
+from repro.experiments.base import ExperimentResult
+from repro.study import RemotePeeringStudy
+
+#: Every experiment, in the order it appears in the paper.
+EXPERIMENTS: dict[str, Callable[[RemotePeeringStudy], ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig1a": fig1.run_fig1a,
+    "fig1b": fig1.run_fig1b,
+    "fig2a": fig2.run_fig2a,
+    "fig2b": fig2.run_fig2b,
+    "fig4": fig4_fig5.run_fig4,
+    "fig5": fig4_fig5.run_fig5,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "table4": table4.run,
+    "fig8": fig8.run,
+    "table5": table5.run,
+    "fig9a": fig9.run_fig9a,
+    "fig9b": fig9.run_fig9b,
+    "fig9c": fig9.run_fig9c,
+    "fig9d": fig9.run_fig9d,
+    "fig10a": fig10.run_fig10a,
+    "fig10b": fig10.run_fig10b,
+    "fig11a": fig11.run_fig11a,
+    "fig11b": fig11.run_fig11b,
+    "fig12a": fig12.run_fig12a,
+    "fig12b": fig12.run_fig12b,
+    "sec64": sec64.run,
+}
+
+
+def run_experiment(study: RemotePeeringStudy, experiment_id: str) -> ExperimentResult:
+    """Run a single experiment by id."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; "
+                       f"known: {', '.join(sorted(EXPERIMENTS))}")
+    return EXPERIMENTS[experiment_id](study)
+
+
+def run_all(
+    study: RemotePeeringStudy,
+    *,
+    only: list[str] | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run every experiment (or a subset) against one study."""
+    wanted = list(EXPERIMENTS) if only is None else only
+    return {experiment_id: run_experiment(study, experiment_id) for experiment_id in wanted}
+
+
+def render_text_report(results: dict[str, ExperimentResult]) -> str:
+    """Render all experiment results as one plain-text report."""
+    sections = [result.to_text() for result in results.values()]
+    return "\n\n".join(sections) + "\n"
+
+
+def render_markdown_report(results: dict[str, ExperimentResult], *, title: str | None = None) -> str:
+    """Render all experiment results as one Markdown report."""
+    lines: list[str] = []
+    if title:
+        lines.extend([f"## {title}", ""])
+    for result in results.values():
+        lines.append(result.to_markdown())
+    return "\n".join(lines)

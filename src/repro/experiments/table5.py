@@ -1,0 +1,78 @@
+"""Table 5 — statistics of the interfaces involved in the ping campaign."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.measurement.vantage import VantagePointKind
+from repro.study import RemotePeeringStudy
+
+
+def run(study: RemotePeeringStudy) -> ExperimentResult:
+    """Regenerate Table 5 from the ping campaign of the studied IXPs."""
+    outcome = study.outcome
+    ping = study.ping_result
+    summary = outcome.rtt_summary
+
+    rows = []
+    totals = {"vps": 0, "queried": 0, "responsive": 0, "members": set(), "ixps": set()}
+    for kind in (VantagePointKind.LOOKING_GLASS, VantagePointKind.ATLAS_PROBE):
+        vps = [vp for vp in summary.usable_vps.values() if vp.kind is kind]
+        queried: set[tuple[str, str]] = set()
+        responsive: set[tuple[str, str]] = set()
+        members: set[int] = set()
+        ixps: set[str] = set()
+        for series in ping.series:
+            vp = ping.vantage_points.get(series.vp_id)
+            if vp is None or vp.kind is not kind or series.vp_id not in summary.usable_vps:
+                continue
+            key = (series.ixp_id, series.target_ip)
+            queried.add(key)
+            ixps.add(series.ixp_id)
+            if series.responded:
+                responsive.add(key)
+                asn = study.dataset.asn_of_interface(series.target_ip)
+                if asn is not None:
+                    members.add(asn)
+        rows.append(
+            {
+                "vp_type": "LG" if kind is VantagePointKind.LOOKING_GLASS else "Atlas",
+                "usable_vps": len(vps),
+                "interfaces_queried": len(queried),
+                "interfaces_responsive": len(responsive),
+                "response_rate": len(responsive) / len(queried) if queried else 0.0,
+                "members": len(members),
+                "ixps": len(ixps),
+            }
+        )
+        totals["vps"] += len(vps)
+        totals["queried"] += len(queried)
+        totals["responsive"] += len(responsive)
+        totals["members"].update(members)
+        totals["ixps"].update(ixps)
+
+    rows.append(
+        {
+            "vp_type": "Total",
+            "usable_vps": totals["vps"],
+            "interfaces_queried": totals["queried"],
+            "interfaces_responsive": totals["responsive"],
+            "response_rate": totals["responsive"] / totals["queried"] if totals["queried"] else 0.0,
+            "members": len(totals["members"]),
+            "ixps": len(totals["ixps"]),
+        }
+    )
+    return ExperimentResult(
+        experiment_id="table5",
+        title="Ping campaign interface statistics",
+        paper_reference="Table 5",
+        headline={
+            "studied_ixps": len(study.studied_ixp_ids),
+            "usable_vps": totals["vps"],
+            "discarded_vps": len(summary.discarded_vps),
+            "overall_response_rate": (
+                totals["responsive"] / totals["queried"] if totals["queried"] else 0.0
+            ),
+        },
+        rows=rows,
+        notes="Queried/responsive counts are per (IXP, interface) pair across usable vantage points.",
+    )

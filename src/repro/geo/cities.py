@@ -1,0 +1,192 @@
+"""A built-in gazetteer of world cities.
+
+The synthetic topology generator places colocation facilities, IXPs and AS
+points of presence in real cities so that geodesic distances, metro areas and
+RIR regions behave like the real Internet (e.g. Amsterdam-Rotterdam is ~57 km,
+London-Bucharest is >1,300 km — the two examples the paper uses).
+
+Coordinates are city-centre approximations; sub-kilometre accuracy is not
+needed because the delay model operates at metro-area granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.coordinates import GeoPoint
+
+
+@dataclass(frozen=True)
+class City:
+    """A city usable as a location for facilities and networks.
+
+    Attributes
+    ----------
+    name:
+        Canonical city name (unique within the gazetteer).
+    country:
+        ISO 3166-1 alpha-2 country code.
+    location:
+        City-centre coordinates.
+    population_rank:
+        1 = largest peering market.  Used by the generator to size IXPs and to
+        bias where networks deploy.
+    """
+
+    name: str
+    country: str
+    location: GeoPoint
+    population_rank: int
+
+
+def _city(name: str, country: str, lat: float, lon: float, rank: int) -> City:
+    return City(name=name, country=country, location=GeoPoint(lat, lon), population_rank=rank)
+
+
+#: The gazetteer.  Ordered roughly by importance as a peering market so that
+#: ``WORLD_CITIES[:n]`` is a sensible "top-n markets" slice.
+WORLD_CITIES: tuple[City, ...] = (
+    _city("Amsterdam", "NL", 52.3702, 4.8952, 1),
+    _city("Frankfurt", "DE", 50.1109, 8.6821, 2),
+    _city("London", "GB", 51.5074, -0.1278, 3),
+    _city("Paris", "FR", 48.8566, 2.3522, 4),
+    _city("Moscow", "RU", 55.7558, 37.6173, 5),
+    _city("New York", "US", 40.7128, -74.0060, 6),
+    _city("Sao Paulo", "BR", -23.5505, -46.6333, 7),
+    _city("Singapore", "SG", 1.3521, 103.8198, 8),
+    _city("Hong Kong", "HK", 22.3193, 114.1694, 9),
+    _city("Tokyo", "JP", 35.6762, 139.6503, 10),
+    _city("Seattle", "US", 47.6062, -122.3321, 11),
+    _city("Los Angeles", "US", 34.0522, -118.2437, 12),
+    _city("Warsaw", "PL", 52.2297, 21.0122, 13),
+    _city("Prague", "CZ", 50.0755, 14.4378, 14),
+    _city("Vienna", "AT", 48.2082, 16.3738, 15),
+    _city("Stockholm", "SE", 59.3293, 18.0686, 16),
+    _city("Copenhagen", "DK", 55.6761, 12.5683, 17),
+    _city("Milan", "IT", 45.4642, 9.1900, 18),
+    _city("Madrid", "ES", 40.4168, -3.7038, 19),
+    _city("Zurich", "CH", 47.3769, 8.5417, 20),
+    _city("Brussels", "BE", 50.8503, 4.3517, 21),
+    _city("Dublin", "IE", 53.3498, -6.2603, 22),
+    _city("Bucharest", "RO", 44.4268, 26.1025, 23),
+    _city("Budapest", "HU", 47.4979, 19.0402, 24),
+    _city("Sofia", "BG", 42.6977, 23.3219, 25),
+    _city("Kyiv", "UA", 50.4501, 30.5234, 26),
+    _city("Istanbul", "TR", 41.0082, 28.9784, 27),
+    _city("Marseille", "FR", 43.2965, 5.3698, 28),
+    _city("Manchester", "GB", 53.4808, -2.2426, 29),
+    _city("Katowice", "PL", 50.2649, 19.0238, 30),
+    _city("Chicago", "US", 41.8781, -87.6298, 31),
+    _city("Ashburn", "US", 39.0438, -77.4874, 32),
+    _city("Dallas", "US", 32.7767, -96.7970, 33),
+    _city("Miami", "US", 25.7617, -80.1918, 34),
+    _city("Toronto", "CA", 43.6532, -79.3832, 35),
+    _city("Atlanta", "US", 33.7490, -84.3880, 36),
+    _city("San Francisco", "US", 37.7749, -122.4194, 37),
+    _city("Palo Alto", "US", 37.4419, -122.1430, 38),
+    _city("Mexico City", "MX", 19.4326, -99.1332, 39),
+    _city("Buenos Aires", "AR", -34.6037, -58.3816, 40),
+    _city("Santiago", "CL", -33.4489, -70.6693, 41),
+    _city("Bogota", "CO", 4.7110, -74.0721, 42),
+    _city("Johannesburg", "ZA", -26.2041, 28.0473, 43),
+    _city("Cape Town", "ZA", -33.9249, 18.4241, 44),
+    _city("Nairobi", "KE", -1.2921, 36.8219, 45),
+    _city("Lagos", "NG", 6.5244, 3.3792, 46),
+    _city("Cairo", "EG", 30.0444, 31.2357, 47),
+    _city("Dubai", "AE", 25.2048, 55.2708, 48),
+    _city("Mumbai", "IN", 19.0760, 72.8777, 49),
+    _city("Chennai", "IN", 13.0827, 80.2707, 50),
+    _city("Kuala Lumpur", "MY", 3.1390, 101.6869, 51),
+    _city("Jakarta", "ID", -6.2088, 106.8456, 52),
+    _city("Bangkok", "TH", 13.7563, 100.5018, 53),
+    _city("Manila", "PH", 14.5995, 120.9842, 54),
+    _city("Taipei", "TW", 25.0330, 121.5654, 55),
+    _city("Seoul", "KR", 37.5665, 126.9780, 56),
+    _city("Osaka", "JP", 34.6937, 135.5023, 57),
+    _city("Sydney", "AU", -33.8688, 151.2093, 58),
+    _city("Melbourne", "AU", -37.8136, 144.9631, 59),
+    _city("Auckland", "NZ", -36.8509, 174.7645, 60),
+    _city("Rotterdam", "NL", 51.9244, 4.4777, 61),
+    _city("The Hague", "NL", 52.0705, 4.3007, 62),
+    _city("Dusseldorf", "DE", 51.2277, 6.7735, 63),
+    _city("Hamburg", "DE", 53.5511, 9.9937, 64),
+    _city("Munich", "DE", 48.1351, 11.5820, 65),
+    _city("Berlin", "DE", 52.5200, 13.4050, 66),
+    _city("Lyon", "FR", 45.7640, 4.8357, 67),
+    _city("Barcelona", "ES", 41.3851, 2.1734, 68),
+    _city("Lisbon", "PT", 38.7223, -9.1393, 69),
+    _city("Rome", "IT", 41.9028, 12.4964, 70),
+    _city("Athens", "GR", 37.9838, 23.7275, 71),
+    _city("Helsinki", "FI", 60.1699, 24.9384, 72),
+    _city("Oslo", "NO", 59.9139, 10.7522, 73),
+    _city("Riga", "LV", 56.9496, 24.1052, 74),
+    _city("Vilnius", "LT", 54.6872, 25.2797, 75),
+    _city("Tallinn", "EE", 59.4370, 24.7536, 76),
+    _city("Minsk", "BY", 53.9006, 27.5590, 77),
+    _city("St Petersburg", "RU", 59.9311, 30.3609, 78),
+    _city("Novosibirsk", "RU", 55.0084, 82.9357, 79),
+    _city("Zagreb", "HR", 45.8150, 15.9819, 80),
+    _city("Belgrade", "RS", 44.7866, 20.4489, 81),
+    _city("Bratislava", "SK", 48.1486, 17.1077, 82),
+    _city("Ljubljana", "SI", 46.0569, 14.5058, 83),
+    _city("Luxembourg", "LU", 49.6116, 6.1319, 84),
+    _city("Geneva", "CH", 46.2044, 6.1432, 85),
+    _city("Lille", "FR", 50.6292, 3.0573, 86),
+    _city("Birmingham", "GB", 52.4862, -1.8904, 87),
+    _city("Edinburgh", "GB", 55.9533, -3.1883, 88),
+    _city("Leeds", "GB", 53.8008, -1.5491, 89),
+    _city("Poznan", "PL", 52.4064, 16.9252, 90),
+    _city("Krakow", "PL", 50.0647, 19.9450, 91),
+    _city("Wroclaw", "PL", 51.1079, 17.0385, 92),
+    _city("Brno", "CZ", 49.1951, 16.6068, 93),
+    _city("Porto", "PT", 41.1579, -8.6291, 94),
+    _city("Valencia", "ES", 39.4699, -0.3763, 95),
+    _city("Turin", "IT", 45.0703, 7.6869, 96),
+    _city("Denver", "US", 39.7392, -104.9903, 97),
+    _city("Phoenix", "US", 33.4484, -112.0740, 98),
+    _city("Houston", "US", 29.7604, -95.3698, 99),
+    _city("Boston", "US", 42.3601, -71.0589, 100),
+    _city("Washington", "US", 38.9072, -77.0369, 101),
+    _city("Montreal", "CA", 45.5017, -73.5673, 102),
+    _city("Vancouver", "CA", 49.2827, -123.1207, 103),
+    _city("Lima", "PE", -12.0464, -77.0428, 104),
+    _city("Caracas", "VE", 10.4806, -66.9036, 105),
+    _city("Quito", "EC", -0.1807, -78.4678, 106),
+    _city("Accra", "GH", 5.6037, -0.1870, 107),
+    _city("Tunis", "TN", 36.8065, 10.1815, 108),
+    _city("Tel Aviv", "IL", 32.0853, 34.7818, 109),
+    _city("Riyadh", "SA", 24.7136, 46.6753, 110),
+    _city("Doha", "QA", 25.2854, 51.5310, 111),
+    _city("Karachi", "PK", 24.8607, 67.0011, 112),
+    _city("Dhaka", "BD", 23.8103, 90.4125, 113),
+    _city("Hanoi", "VN", 21.0278, 105.8342, 114),
+    _city("Ho Chi Minh City", "VN", 10.8231, 106.6297, 115),
+    _city("Perth", "AU", -31.9505, 115.8605, 116),
+    _city("Brisbane", "AU", -27.4698, 153.0251, 117),
+    _city("Wellington", "NZ", -41.2866, 174.7756, 118),
+    _city("Fortaleza", "BR", -3.7319, -38.5267, 119),
+    _city("Rio de Janeiro", "BR", -22.9068, -43.1729, 120),
+)
+
+_CITY_INDEX: dict[str, City] = {c.name.lower(): c for c in WORLD_CITIES}
+
+
+def city_by_name(name: str) -> City:
+    """Return the :class:`City` with the given name (case-insensitive).
+
+    Raises
+    ------
+    KeyError
+        If the gazetteer has no such city.
+    """
+    key = name.lower()
+    if key not in _CITY_INDEX:
+        raise KeyError(f"unknown city: {name!r}")
+    return _CITY_INDEX[key]
+
+
+def cities_in_region(region: "RIRRegion") -> list[City]:  # noqa: F821 - forward reference
+    """Return all gazetteer cities that fall in the given RIR service region."""
+    from repro.geo.regions import region_for_country
+
+    return [c for c in WORLD_CITIES if region_for_country(c.country) is region]

@@ -1,0 +1,74 @@
+"""Metropolitan-area grouping and RIR service regions.
+
+Two geographic notions recur in the paper:
+
+* *metropolitan area* — a disk with a 100 km diameter; two facilities more
+  than 50 km apart are "in different metropolitan areas" for the purpose of
+  classifying wide-area IXPs (Section 4.2);
+* *RIR region* — the paper reports vantage-point coverage per Regional
+  Internet Registry region (RIPE, APNIC, ARIN, LACNIC, AFRINIC).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.constants import WIDE_AREA_FACILITY_DISTANCE_KM
+from repro.geo.coordinates import GeoPoint, geodesic_distance_km
+
+
+class RIRRegion(enum.Enum):
+    """Regional Internet Registry service regions."""
+
+    RIPE = "RIPE NCC"
+    ARIN = "ARIN"
+    APNIC = "APNIC"
+    LACNIC = "LACNIC"
+    AFRINIC = "AFRINIC"
+
+
+#: Country (ISO alpha-2) to RIR region mapping for the gazetteer countries.
+_COUNTRY_TO_REGION: dict[str, RIRRegion] = {
+    # RIPE NCC: Europe, Middle East, parts of Central Asia.
+    **{
+        cc: RIRRegion.RIPE
+        for cc in (
+            "NL", "DE", "GB", "FR", "RU", "PL", "CZ", "AT", "SE", "DK", "IT", "ES",
+            "CH", "BE", "IE", "RO", "HU", "BG", "UA", "TR", "PT", "GR", "FI", "NO",
+            "LV", "LT", "EE", "BY", "HR", "RS", "SK", "SI", "LU", "AE", "IL", "SA",
+            "QA",
+        )
+    },
+    # ARIN: US and Canada.
+    **{cc: RIRRegion.ARIN for cc in ("US", "CA")},
+    # APNIC: Asia-Pacific.
+    **{
+        cc: RIRRegion.APNIC
+        for cc in (
+            "SG", "HK", "JP", "IN", "MY", "ID", "TH", "PH", "TW", "KR", "AU", "NZ",
+            "PK", "BD", "VN",
+        )
+    },
+    # LACNIC: Latin America and the Caribbean.
+    **{cc: RIRRegion.LACNIC for cc in ("BR", "MX", "AR", "CL", "CO", "PE", "VE", "EC")},
+    # AFRINIC: Africa.
+    **{cc: RIRRegion.AFRINIC for cc in ("ZA", "KE", "NG", "EG", "GH", "TN")},
+}
+
+
+def region_for_country(country_code: str) -> RIRRegion:
+    """Map an ISO alpha-2 country code to its RIR service region.
+
+    Unknown codes default to :attr:`RIRRegion.RIPE`, which only affects
+    reporting (not inference).
+    """
+    return _COUNTRY_TO_REGION.get(country_code.upper(), RIRRegion.RIPE)
+
+
+def same_metro_area(a: GeoPoint, b: GeoPoint, *, threshold_km: float = WIDE_AREA_FACILITY_DISTANCE_KM) -> bool:
+    """Return True if two locations belong to the same metropolitan area.
+
+    The paper considers facilities more than ``threshold_km`` (50 km) apart to
+    be in different metropolitan areas.
+    """
+    return geodesic_distance_km(a, b) <= threshold_km

@@ -1,0 +1,91 @@
+"""Periscope-style looking-glass querying facade.
+
+The paper automates its looking-glass measurements through the Periscope
+platform, which batches queries and enforces per-LG rate limits so that the
+public LGs are not overwhelmed.  This facade reproduces that behaviour on top
+of the ping campaign: callers submit (looking glass, target) queries, and the
+client executes them in rate-limited batches, reporting how many batches a
+campaign needed.
+
+It exists for API fidelity (examples and tests exercise it); experiments use
+:class:`~repro.measurement.ping.PingCampaign` directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.config import CampaignConfig
+from repro.exceptions import MeasurementError, VantagePointError
+from repro.geo.coordinates import geodesic_distance_km
+from repro.geo.delay_model import DelayModel
+from repro.measurement.vantage import VantagePoint
+from repro.topology.world import World
+
+
+@dataclass
+class LookingGlassQuery:
+    """One ping query submitted through the looking-glass facade."""
+
+    vp: VantagePoint
+    target_ip: str
+
+
+@dataclass
+class LookingGlassReply:
+    """The reply to one looking-glass query."""
+
+    query: LookingGlassQuery
+    rtt_ms: float | None
+    batch_index: int
+
+
+@dataclass
+class PeriscopeClient:
+    """Rate-limited looking-glass query executor."""
+
+    world: World
+    config: CampaignConfig = field(default_factory=CampaignConfig)
+    queries_per_batch: int = 50
+    delay_model: DelayModel = field(default_factory=DelayModel)
+
+    def __post_init__(self) -> None:
+        if self.queries_per_batch < 1:
+            raise MeasurementError("queries_per_batch must be at least 1")
+        self._rng = random.Random(self.world.seed * 911 + self.config.seed_offset + 3)
+        self._pending: list[LookingGlassQuery] = []
+
+    def submit(self, vp: VantagePoint, target_ip: str) -> None:
+        """Queue one query (only looking glasses are accepted)."""
+        if not vp.is_looking_glass:
+            raise VantagePointError("Periscope only drives looking glasses")
+        self._pending.append(LookingGlassQuery(vp=vp, target_ip=target_ip))
+
+    @property
+    def pending_count(self) -> int:
+        """Number of queued, not yet executed queries."""
+        return len(self._pending)
+
+    def execute(self) -> list[LookingGlassReply]:
+        """Run every queued query in rate-limited batches."""
+        replies: list[LookingGlassReply] = []
+        for index, query in enumerate(self._pending):
+            batch_index = index // self.queries_per_batch
+            rtt = self._measure(query)
+            replies.append(LookingGlassReply(query=query, rtt_ms=rtt, batch_index=batch_index))
+        self._pending = []
+        return replies
+
+    # ------------------------------------------------------------------ #
+    def _measure(self, query: LookingGlassQuery) -> float | None:
+        if self._rng.random() > self.config.lg_response_rate:
+            return None
+        target = self.world.interfaces.get(query.target_ip)
+        if target is None:
+            return None
+        router = self.world.router(target.router_id)
+        distance = geodesic_distance_km(
+            query.vp.location, self.world.facility_location(router.facility_id))
+        return self.delay_model.sample_rtt_ms(distance, self._rng,
+                                              jitter_ms=self.config.jitter_ms)

@@ -1,0 +1,99 @@
+"""Result containers for measurement campaigns.
+
+These classes hold *raw* observations (per-round RTT and reply-TTL samples,
+traceroute hop sequences).  Filtering — TTL-consistency checks, minimum-RTT
+extraction, discarding of bad Atlas probes — is deliberately left to Step 2 of
+the inference pipeline, mirroring the paper's separation between measurement
+collection and interpretation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.routing.forwarding import ForwardingPath
+
+
+@dataclass(frozen=True)
+class PingSample:
+    """One ping reply: RTT in milliseconds and the reply's TTL."""
+
+    rtt_ms: float
+    reply_ttl: int
+
+
+@dataclass
+class PingSeries:
+    """All ping replies collected for one (vantage point, target) pair."""
+
+    vp_id: str
+    ixp_id: str
+    target_ip: str
+    samples: list[PingSample] = field(default_factory=list)
+
+    @property
+    def responded(self) -> bool:
+        """True if at least one reply was received."""
+        return bool(self.samples)
+
+    def min_rtt(self) -> float | None:
+        """Minimum RTT over all replies (no filtering applied)."""
+        if not self.samples:
+            return None
+        return min(sample.rtt_ms for sample in self.samples)
+
+
+@dataclass
+class PingCampaignResult:
+    """Everything a ping campaign produced."""
+
+    series: list[PingSeries] = field(default_factory=list)
+    route_server_series: list[PingSeries] = field(default_factory=list)
+    vantage_points: dict[str, "VantagePoint"] = field(default_factory=dict)  # noqa: F821
+
+    def series_for_ixp(self, ixp_id: str) -> list[PingSeries]:
+        """Member-interface series collected at one IXP."""
+        return [s for s in self.series if s.ixp_id == ixp_id]
+
+    def series_for_vp(self, vp_id: str) -> list[PingSeries]:
+        """Member-interface series collected from one vantage point."""
+        return [s for s in self.series if s.vp_id == vp_id]
+
+    def route_server_series_for_vp(self, vp_id: str) -> PingSeries | None:
+        """The route-server control series of one vantage point, if any."""
+        for series in self.route_server_series:
+            if series.vp_id == vp_id:
+                return series
+        return None
+
+    def queried_interfaces(self, ixp_id: str | None = None) -> set[str]:
+        """Interfaces that were queried (optionally for one IXP)."""
+        return {
+            s.target_ip for s in self.series if ixp_id is None or s.ixp_id == ixp_id
+        }
+
+    def responsive_interfaces(self, ixp_id: str | None = None) -> set[str]:
+        """Interfaces that replied to at least one vantage point."""
+        return {
+            s.target_ip
+            for s in self.series
+            if s.responded and (ixp_id is None or s.ixp_id == ixp_id)
+        }
+
+
+@dataclass
+class TracerouteCorpus:
+    """A collection of simulated traceroute paths."""
+
+    paths: list[ForwardingPath] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def extend(self, paths: list[ForwardingPath]) -> None:
+        """Append paths to the corpus."""
+        self.paths.extend(paths)
+
+    def paths_from(self, source_asn: int) -> list[ForwardingPath]:
+        """All paths whose probe sits in the given AS."""
+        return [p for p in self.paths if p.source_asn == source_asn]

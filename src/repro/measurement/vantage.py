@@ -1,0 +1,165 @@
+"""Vantage points: looking glasses and Atlas-style probes inside IXPs.
+
+The paper's Step 2 needs vantage points whose exact location is known and
+which sit inside (or right next to) the IXP fabric: publicly accessible
+looking glasses attached to the peering LAN, and RIPE Atlas probes hosted in
+IXP facilities.  Both come with quirks that the methodology must survive:
+
+* some looking glasses round RTTs up to whole milliseconds;
+* some Atlas probes never answer (dead), and some are deployed in the IXP's
+  *management* LAN — physically elsewhere — which inflates every RTT they
+  measure (the paper drops probes with >= 1 ms to the IXP route server).
+
+The planner decides, per IXP, which vantage points exist; the ping campaign
+then uses them.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.config import CampaignConfig
+from repro.exceptions import VantagePointError
+from repro.geo.coordinates import GeoPoint
+from repro.topology.world import World
+
+
+class VantagePointKind(enum.Enum):
+    """Type of measurement vantage point."""
+
+    LOOKING_GLASS = "looking-glass"
+    ATLAS_PROBE = "atlas-probe"
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """One measurement vantage point hosted at an IXP.
+
+    Attributes
+    ----------
+    vp_id:
+        Unique identifier, e.g. ``"lg-ixp-003"`` or ``"atlas-ixp-003-1"``.
+    kind:
+        Looking glass or Atlas probe.
+    ixp_id:
+        The IXP this vantage point can measure.
+    facility_id:
+        Facility hosting the vantage point (its location is known exactly).
+    location:
+        Geographic coordinates of that facility.
+    rounds_rtt_up:
+        True for looking glasses that report integer milliseconds.
+    in_management_lan:
+        True for Atlas probes deployed in the IXP management LAN (their RTTs
+        carry a constant inflation).
+    management_extra_rtt_ms:
+        The inflation applied to every measurement of a management-LAN probe.
+    is_dead:
+        True for probes that never answer.
+    """
+
+    vp_id: str
+    kind: VantagePointKind
+    ixp_id: str
+    facility_id: str
+    location: GeoPoint
+    rounds_rtt_up: bool = False
+    in_management_lan: bool = False
+    management_extra_rtt_ms: float = 0.0
+    is_dead: bool = False
+
+    @property
+    def is_looking_glass(self) -> bool:
+        """True for looking-glass vantage points."""
+        return self.kind is VantagePointKind.LOOKING_GLASS
+
+
+class VantagePointPlanner:
+    """Decides which vantage points exist at which IXPs."""
+
+    def __init__(self, world: World, config: CampaignConfig | None = None) -> None:
+        self.world = world
+        self.config = config or CampaignConfig()
+        self._rng = random.Random(world.seed * 131 + self.config.seed_offset)
+
+    def plan(self, ixp_ids: list[str]) -> dict[str, list[VantagePoint]]:
+        """Plan vantage points for every requested IXP.
+
+        Returns a mapping IXP id -> list of vantage points (possibly empty:
+        not every IXP hosts a usable vantage point, exactly as in the paper).
+        """
+        plan: dict[str, list[VantagePoint]] = {}
+        for ixp_id in ixp_ids:
+            plan[ixp_id] = self._plan_for_ixp(ixp_id)
+        return plan
+
+    def plan_internal(self, ixp_ids: list[str]) -> dict[str, VantagePoint]:
+        """Plan one guaranteed in-fabric vantage point per IXP.
+
+        Used to reproduce the "control" measurements of Section 4, for which
+        the paper obtained one-time access to pings run from inside the IXP
+        infrastructure itself.
+        """
+        plan: dict[str, VantagePoint] = {}
+        for ixp_id in ixp_ids:
+            ixp = self.world.ixp(ixp_id)
+            facility_id = self._primary_facility(ixp_id)
+            plan[ixp_id] = VantagePoint(
+                vp_id=f"internal-{ixp_id}",
+                kind=VantagePointKind.LOOKING_GLASS,
+                ixp_id=ixp_id,
+                facility_id=facility_id,
+                location=self.world.facility_location(facility_id),
+                rounds_rtt_up=False,
+            )
+            del ixp
+        return plan
+
+    # ------------------------------------------------------------------ #
+    def _primary_facility(self, ixp_id: str) -> str:
+        ixp = self.world.ixp(ixp_id)
+        if not ixp.facility_ids:
+            raise VantagePointError(f"IXP {ixp_id} has no facilities")
+        home = sorted(f for f in ixp.facility_ids
+                      if self.world.facility(f).city == ixp.city)
+        return home[0] if home else sorted(ixp.facility_ids)[0]
+
+    def _plan_for_ixp(self, ixp_id: str) -> list[VantagePoint]:
+        config = self.config
+        vantage_points: list[VantagePoint] = []
+        primary = self._primary_facility(ixp_id)
+
+        if self._rng.random() < config.lg_presence_rate:
+            vantage_points.append(
+                VantagePoint(
+                    vp_id=f"lg-{ixp_id}",
+                    kind=VantagePointKind.LOOKING_GLASS,
+                    ixp_id=ixp_id,
+                    facility_id=primary,
+                    location=self.world.facility_location(primary),
+                    rounds_rtt_up=self._rng.random() < config.lg_integer_rounding_rate,
+                )
+            )
+
+        ixp = self.world.ixp(ixp_id)
+        n_probes = self._rng.randint(0, config.max_atlas_probes_per_ixp)
+        facilities = sorted(ixp.facility_ids)
+        for index in range(n_probes):
+            facility_id = self._rng.choice(facilities)
+            in_management = self._rng.random() < config.atlas_management_lan_rate
+            low, high = config.management_lan_extra_rtt_ms
+            vantage_points.append(
+                VantagePoint(
+                    vp_id=f"atlas-{ixp_id}-{index}",
+                    kind=VantagePointKind.ATLAS_PROBE,
+                    ixp_id=ixp_id,
+                    facility_id=facility_id,
+                    location=self.world.facility_location(facility_id),
+                    in_management_lan=in_management,
+                    management_extra_rtt_ms=self._rng.uniform(low, high) if in_management else 0.0,
+                    is_dead=self._rng.random() < config.atlas_dead_probe_rate,
+                )
+            )
+        return vantage_points

@@ -1,0 +1,16 @@
+"""Portal exports (Section 9 "Prototype and Portal").
+
+The paper publishes monthly snapshots of its inferences and a geographic
+visualisation through a web portal.  This package produces the same
+artefacts as plain data files:
+
+* :mod:`repro.portal.snapshots` — JSON snapshots of the per-interface
+  inferences, one per IXP, with provenance metadata;
+* :mod:`repro.portal.geojson` — GeoJSON feature collections of IXP
+  facilities and member locations, coloured by inferred peering type.
+"""
+
+from repro.portal.snapshots import InferenceSnapshot, SnapshotExporter
+from repro.portal.geojson import GeoJSONExporter
+
+__all__ = ["InferenceSnapshot", "SnapshotExporter", "GeoJSONExporter"]

@@ -1,0 +1,26 @@
+"""BGP-like routing and forwarding-plane substrate.
+
+The traceroute measurements of the paper (used by Steps 4-5 and by the
+routing-implications study of Section 6.4) observe the forwarding plane of
+the real Internet.  This package provides the simulated equivalent:
+
+* :mod:`repro.routing.bgp` — an AS-level graph combining transit
+  relationships, private interconnections and IXP co-membership, with
+  shortest-AS-path route selection;
+* :mod:`repro.routing.forwarding` — expansion of an AS-level path into the
+  IP-level hops a traceroute would observe, including the classic IXP
+  crossing signature and hot-potato (or policy-driven) selection among
+  multiple common IXPs.
+"""
+
+from repro.routing.bgp import ASGraph, EdgeRealization, RouteSelector
+from repro.routing.forwarding import ForwardingSimulator, ForwardingPath, ForwardingHop
+
+__all__ = [
+    "ASGraph",
+    "EdgeRealization",
+    "RouteSelector",
+    "ForwardingSimulator",
+    "ForwardingPath",
+    "ForwardingHop",
+]

@@ -1,0 +1,262 @@
+"""Expansion of AS-level paths into traceroute-style IP hop sequences.
+
+A traceroute towards a destination reveals, for every router on the path, the
+interface facing the previous hop.  The signature the paper's detection logic
+relies on (Section 3.3) is the *IP triplet* around an IXP crossing::
+
+    ... IP_a (border router of AS A)  IP_ixp (IXP LAN address of AS B)  IP_b (AS B) ...
+
+This module produces exactly those sequences from the ground-truth world:
+when an AS-level edge is realised over an IXP, the next hop after AS A's
+border router is the IXP-LAN interface of AS B, followed by an interface of
+AS B; private cross-connects and transit hops are expanded analogously.
+
+Hot-potato behaviour: when two ASes share several IXPs, the exit IXP is the
+one closest to the current position of the traffic with probability
+``hot_potato_compliance``; otherwise a different (policy-driven) exchange is
+picked — this is the knob behind the Section 6.4 experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.exceptions import RoutingError
+from repro.geo.coordinates import GeoPoint, geodesic_distance_km
+from repro.geo.delay_model import DelayModel
+from repro.routing.bgp import ASGraph, EdgeRealization, RealizationKind, RouteSelector
+from repro.topology.entities import InterfaceKind, IXPMembership, Router
+from repro.topology.world import World
+
+
+@dataclass(frozen=True)
+class ForwardingHop:
+    """One hop of a simulated traceroute.
+
+    Attributes
+    ----------
+    ip:
+        Interface address revealed by the hop, or ``None`` when the hop did
+        not answer (a ``*`` line in a real traceroute).
+    asn:
+        Ground-truth owner of the interface (kept for debugging and tests;
+        the inference pipeline re-derives ownership from public data).
+    rtt_ms:
+        Round-trip time to this hop.
+    is_ixp_lan:
+        Whether the interface belongs to an IXP peering LAN.
+    ixp_id:
+        The IXP, for IXP-LAN hops.
+    """
+
+    ip: str | None
+    asn: int | None
+    rtt_ms: float
+    is_ixp_lan: bool = False
+    ixp_id: str | None = None
+
+
+@dataclass
+class ForwardingPath:
+    """A full simulated traceroute."""
+
+    source_asn: int
+    destination_asn: int
+    destination_ip: str
+    hops: list[ForwardingHop] = field(default_factory=list)
+
+    def hop_ips(self) -> list[str | None]:
+        """The raw IP sequence (with ``None`` for unresponsive hops)."""
+        return [hop.ip for hop in self.hops]
+
+    def responded_hops(self) -> list[ForwardingHop]:
+        """Hops that answered."""
+        return [hop for hop in self.hops if hop.ip is not None]
+
+
+class ForwardingSimulator:
+    """Builds IP-level paths for AS-level routes."""
+
+    def __init__(
+        self,
+        world: World,
+        graph: ASGraph | None = None,
+        *,
+        delay_model: DelayModel | None = None,
+        rng: random.Random | None = None,
+        hot_potato_compliance: float = 0.70,
+        hop_loss_rate: float = 0.03,
+        ixp_preference: float = 0.60,
+    ) -> None:
+        self.world = world
+        self.graph = graph or ASGraph(world)
+        self.selector = RouteSelector(self.graph)
+        self.delay_model = delay_model or DelayModel()
+        self._rng = rng or random.Random(world.seed + 777)
+        self.hot_potato_compliance = hot_potato_compliance
+        self.hop_loss_rate = hop_loss_rate
+        self.ixp_preference = ixp_preference
+        self._memberships_by_as_ixp: dict[tuple[int, str], IXPMembership] = {}
+        for membership in world.memberships:
+            if membership.departed_month is None:
+                self._memberships_by_as_ixp[(membership.asn, membership.ixp_id)] = membership
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def traceroute(self, source_asn: int, destination_ip: str) -> ForwardingPath:
+        """Simulate one traceroute from an AS towards a destination IP."""
+        destination_asn = self._asn_for_destination(destination_ip)
+        as_path = self.selector.select_path(source_asn, destination_asn)
+        return self._expand(as_path, destination_ip)
+
+    def traceroute_along(self, as_path: list[int], destination_ip: str) -> ForwardingPath:
+        """Expand an explicit AS path (used by campaigns that precompute paths)."""
+        if not as_path:
+            raise RoutingError("AS path must not be empty")
+        return self._expand(as_path, destination_ip)
+
+    def destination_ip_for(self, asn: int) -> str:
+        """A pingable address inside the first routed prefix of an AS."""
+        prefixes = self.world.prefixes_of_as(asn)
+        if not prefixes:
+            raise RoutingError(f"AS{asn} originates no prefixes")
+        network = prefixes[0]
+        base = network.split("/")[0]
+        octets = base.split(".")
+        octets[-1] = "1"
+        return ".".join(octets)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _asn_for_destination(self, destination_ip: str) -> int:
+        import ipaddress
+
+        address = ipaddress.ip_address(destination_ip)
+        for prefix, asn in self.world.routed_prefixes.items():
+            if address in ipaddress.ip_network(prefix):
+                return asn
+        raise RoutingError(f"destination {destination_ip} is not in any routed prefix")
+
+    def _first_router(self, asn: int) -> Router:
+        routers = self.world.routers_of_as(asn)
+        if not routers:
+            raise RoutingError(f"AS{asn} has no routers")
+        return routers[0]
+
+    def _backbone_ip(self, router: Router) -> str | None:
+        for ip in router.interface_ips:
+            interface = self.world.interfaces.get(ip)
+            if interface is not None and interface.kind is InterfaceKind.BACKBONE:
+                return ip
+        return None
+
+    def _location_of_router(self, router: Router) -> GeoPoint:
+        return self.world.facility_location(router.facility_id)
+
+    def _choose_realization(self, a: int, b: int) -> EdgeRealization:
+        realizations = self.graph.realizations(a, b)
+        if not realizations:
+            raise RoutingError(f"AS{a} and AS{b} are not adjacent")
+        ixp_options = [r for r in realizations if r.kind is RealizationKind.IXP]
+        private_options = [r for r in realizations if r.kind is RealizationKind.PRIVATE]
+        transit_options = [r for r in realizations if r.kind is RealizationKind.TRANSIT]
+        if ixp_options and (not (private_options or transit_options)
+                            or self._rng.random() < self.ixp_preference):
+            return self._rng.choice(ixp_options)
+        if private_options:
+            return self._rng.choice(private_options)
+        if transit_options:
+            return transit_options[0]
+        return self._rng.choice(ixp_options)
+
+    def _choose_ixp(self, current_location: GeoPoint, asn: int, candidates: list[str]) -> str:
+        """Hot-potato (closest exit) IXP choice, with policy deviations."""
+        if len(candidates) == 1:
+            return candidates[0]
+        distances: dict[str, float] = {}
+        for ixp_id in candidates:
+            membership = self._memberships_by_as_ixp[(asn, ixp_id)]
+            exit_location = self.world.facility_location(membership.member_facility_id)
+            distances[ixp_id] = geodesic_distance_km(current_location, exit_location)
+        closest = min(sorted(candidates), key=lambda i: distances[i])
+        if self._rng.random() < self.hot_potato_compliance:
+            return closest
+        others = [c for c in candidates if c != closest]
+        return self._rng.choice(others)
+
+    def _expand(self, as_path: list[int], destination_ip: str) -> ForwardingPath:
+        source_asn = as_path[0]
+        destination_asn = as_path[-1]
+        path = ForwardingPath(
+            source_asn=source_asn,
+            destination_asn=destination_asn,
+            destination_ip=destination_ip,
+        )
+        current_router = self._first_router(source_asn)
+        current_location = self._location_of_router(current_router)
+        cumulative_km = 0.0
+
+        def emit(ip: str | None, asn: int | None, *, is_ixp: bool = False,
+                 ixp_id: str | None = None) -> None:
+            nonlocal cumulative_km
+            rtt = self.delay_model.sample_rtt_ms(cumulative_km, self._rng, jitter_ms=0.4)
+            if ip is not None and self._rng.random() < self.hop_loss_rate:
+                ip = None
+            path.hops.append(
+                ForwardingHop(ip=ip, asn=asn, rtt_ms=rtt, is_ixp_lan=is_ixp, ixp_id=ixp_id)
+            )
+
+        def move_to(router: Router) -> None:
+            nonlocal current_router, current_location, cumulative_km
+            new_location = self._location_of_router(router)
+            cumulative_km += geodesic_distance_km(current_location, new_location)
+            current_router = router
+            current_location = new_location
+
+        # First hop: the source border router answering from a backbone interface.
+        emit(self._backbone_ip(current_router), source_asn)
+
+        for position in range(len(as_path) - 1):
+            here, there = as_path[position], as_path[position + 1]
+            realization = self._choose_realization(here, there)
+
+            if realization.kind is RealizationKind.IXP:
+                candidates = self.graph.common_ixps(here, there)
+                ixp_id = self._choose_ixp(current_location, here, candidates)
+                exit_membership = self._memberships_by_as_ixp[(here, ixp_id)]
+                exit_router = self.world.router(exit_membership.router_id)
+                if exit_router.router_id != current_router.router_id:
+                    move_to(exit_router)
+                    emit(self._backbone_ip(exit_router), here)
+                entry_membership = self._memberships_by_as_ixp[(there, ixp_id)]
+                entry_router = self.world.router(entry_membership.router_id)
+                move_to(entry_router)
+                emit(entry_membership.interface_ip, there, is_ixp=True, ixp_id=ixp_id)
+                emit(self._backbone_ip(entry_router), there)
+            elif realization.kind is RealizationKind.PRIVATE:
+                link = self.world.private_links[realization.private_link_index]
+                if link.asn_a == here:
+                    exit_router_id, entry_router_id = link.router_a, link.router_b
+                    entry_ip = link.interface_b
+                else:
+                    exit_router_id, entry_router_id = link.router_b, link.router_a
+                    entry_ip = link.interface_a
+                exit_router = self.world.router(exit_router_id)
+                if exit_router.router_id != current_router.router_id:
+                    move_to(exit_router)
+                    emit(self._backbone_ip(exit_router), here)
+                entry_router = self.world.router(entry_router_id)
+                move_to(entry_router)
+                emit(entry_ip, there)
+                emit(self._backbone_ip(entry_router), there)
+            else:  # transit
+                entry_router = self._first_router(there)
+                move_to(entry_router)
+                emit(self._backbone_ip(entry_router), there)
+
+        # Final hop: the destination address itself.
+        emit(destination_ip, destination_asn)
+        return path

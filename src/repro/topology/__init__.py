@@ -1,0 +1,56 @@
+"""Ground-truth Internet/IXP topology substrate.
+
+The paper measures the real Internet; this reproduction synthesises a
+ground-truth *world* with the same structure — colocation facilities with
+geographic coordinates, IXPs (including wide-area IXPs and federations),
+autonomous systems with points of presence, routers and interfaces, port
+resellers, and IXP memberships labelled local or remote — and then lets every
+other layer (data sources, measurements, inference) observe that world only
+through realistic, noisy views.
+
+Modules
+-------
+* :mod:`repro.topology.entities` — the dataclasses describing the world.
+* :mod:`repro.topology.addressing` — IPv4 allocation for peering LANs,
+  backbone interfaces and advertised prefixes.
+* :mod:`repro.topology.world` — the :class:`~repro.topology.world.World`
+  container with lookup helpers and invariant checking.
+* :mod:`repro.topology.relationships` — AS business relationships and
+  customer-cone computation (the CAIDA-style substrate of Section 6.2).
+* :mod:`repro.topology.generator` — the seeded synthetic world generator.
+* :mod:`repro.topology.evolution` — longitudinal evolution of IXP membership
+  (new members joining, old members leaving) used by Section 6.3.
+"""
+
+from repro.topology.entities import (
+    AutonomousSystem,
+    ConnectionKind,
+    Facility,
+    Interface,
+    InterfaceKind,
+    IXP,
+    IXPMembership,
+    PortReseller,
+    Router,
+    TrafficLevel,
+)
+from repro.topology.world import World
+from repro.topology.generator import WorldGenerator
+from repro.topology.relationships import ASRelationshipGraph, Relationship
+
+__all__ = [
+    "AutonomousSystem",
+    "ConnectionKind",
+    "Facility",
+    "Interface",
+    "InterfaceKind",
+    "IXP",
+    "IXPMembership",
+    "PortReseller",
+    "Router",
+    "TrafficLevel",
+    "World",
+    "WorldGenerator",
+    "ASRelationshipGraph",
+    "Relationship",
+]

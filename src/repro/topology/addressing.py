@@ -1,0 +1,151 @@
+"""IPv4 address allocation for the synthetic world.
+
+Three address pools are carved out of documentation/benchmark space so they
+never collide with each other:
+
+* **IXP peering LANs** — one prefix per IXP (a /22 for the largest exchanges,
+  a /24 for small ones), from which member interfaces and the route server
+  are assigned.
+* **Backbone / private-peering interfaces** — per-AS infrastructure addresses
+  used on traceroute hops inside an AS or across private interconnections.
+* **Advertised prefixes** — the routed address space each AS originates,
+  used as traceroute/ping destinations by the routing layer.
+
+The allocator is deliberately simple and fully deterministic: identical
+generator seeds always yield identical addressing, which keeps every
+experiment reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from ipaddress import IPv4Address, IPv4Network
+
+from repro.exceptions import AddressingError
+
+
+class PrefixPool:
+    """Sequentially allocates sub-prefixes out of one covering supernet."""
+
+    def __init__(self, supernet: str) -> None:
+        self.supernet = ipaddress.ip_network(supernet)
+        self._cursor = int(self.supernet.network_address)
+
+    def allocate(self, prefix_length: int) -> IPv4Network:
+        """Allocate the next available prefix of the requested length.
+
+        Raises
+        ------
+        AddressingError
+            If the pool is exhausted or the requested length does not fit.
+        """
+        if prefix_length < self.supernet.prefixlen or prefix_length > 32:
+            raise AddressingError(
+                f"cannot allocate /{prefix_length} out of {self.supernet}"
+            )
+        block_size = 2 ** (32 - prefix_length)
+        # Align the cursor on the block size.
+        offset = self._cursor - int(self.supernet.network_address)
+        if offset % block_size:
+            self._cursor += block_size - (offset % block_size)
+        end = int(self.supernet.broadcast_address) + 1
+        if self._cursor + block_size > end:
+            raise AddressingError(f"prefix pool {self.supernet} exhausted")
+        network = ipaddress.ip_network((self._cursor, prefix_length))
+        self._cursor += block_size
+        return network
+
+    @property
+    def remaining_addresses(self) -> int:
+        """Number of addresses not yet handed out."""
+        return int(self.supernet.broadcast_address) + 1 - self._cursor
+
+
+class LanAllocator:
+    """Hands out host addresses inside one peering LAN."""
+
+    def __init__(self, network: IPv4Network) -> None:
+        self.network = network
+        self._next_host = int(network.network_address) + 1
+
+    def allocate_host(self) -> str:
+        """Return the next free host address as a dotted-quad string."""
+        address = IPv4Address(self._next_host)
+        if address >= self.network.broadcast_address:
+            raise AddressingError(f"peering LAN {self.network} has no free addresses")
+        self._next_host += 1
+        return str(address)
+
+    @property
+    def capacity(self) -> int:
+        """Total number of assignable host addresses in the LAN."""
+        return self.network.num_addresses - 2
+
+
+class AddressPlan:
+    """World-wide address plan: peering LANs, infrastructure, routed prefixes."""
+
+    #: Supernet used for IXP peering LANs (documentation-ish space).
+    IXP_SUPERNET = "185.0.0.0/9"
+    #: Supernet used for AS backbone / private-peering interfaces.
+    INFRASTRUCTURE_SUPERNET = "5.0.0.0/9"
+    #: Supernet used for routed (advertised) prefixes.
+    ROUTED_SUPERNET = "100.0.0.0/9"
+
+    def __init__(self) -> None:
+        self._ixp_pool = PrefixPool(self.IXP_SUPERNET)
+        self._infra_pool = PrefixPool(self.INFRASTRUCTURE_SUPERNET)
+        self._routed_pool = PrefixPool(self.ROUTED_SUPERNET)
+        self._lan_allocators: dict[str, LanAllocator] = {}
+        self._infra_allocators: dict[int, LanAllocator] = {}
+
+    # ------------------------------------------------------------------ #
+    # IXP peering LANs
+    # ------------------------------------------------------------------ #
+    def allocate_peering_lan(self, ixp_id: str, expected_members: int) -> IPv4Network:
+        """Allocate a peering LAN sized for the expected number of members."""
+        if ixp_id in self._lan_allocators:
+            raise AddressingError(f"peering LAN for {ixp_id} already allocated")
+        # Reserve head-room: route server, growth, unused addresses.
+        needed = max(8, expected_members * 2 + 4)
+        prefix_length = 32
+        while 2**(32 - prefix_length) - 2 < needed:
+            prefix_length -= 1
+        network = self._ixp_pool.allocate(prefix_length)
+        self._lan_allocators[ixp_id] = LanAllocator(network)
+        return network
+
+    def allocate_member_interface(self, ixp_id: str) -> str:
+        """Allocate one member (or route-server) address inside an IXP LAN."""
+        if ixp_id not in self._lan_allocators:
+            raise AddressingError(f"no peering LAN allocated for {ixp_id}")
+        return self._lan_allocators[ixp_id].allocate_host()
+
+    # ------------------------------------------------------------------ #
+    # AS infrastructure addresses
+    # ------------------------------------------------------------------ #
+    def allocate_infrastructure_block(self, asn: int) -> IPv4Network:
+        """Allocate the per-AS block used for backbone/private interfaces."""
+        if asn in self._infra_allocators:
+            raise AddressingError(f"infrastructure block for AS{asn} already allocated")
+        network = self._infra_pool.allocate(22)
+        self._infra_allocators[asn] = LanAllocator(network)
+        return network
+
+    def allocate_infrastructure_ip(self, asn: int) -> str:
+        """Allocate one backbone/private interface address for an AS."""
+        if asn not in self._infra_allocators:
+            self.allocate_infrastructure_block(asn)
+        return self._infra_allocators[asn].allocate_host()
+
+    def infrastructure_blocks(self) -> dict[int, IPv4Network]:
+        """Per-AS infrastructure prefixes allocated so far."""
+        return {asn: allocator.network for asn, allocator in self._infra_allocators.items()}
+
+    # ------------------------------------------------------------------ #
+    # Routed prefixes
+    # ------------------------------------------------------------------ #
+    def allocate_routed_prefix(self, asn: int) -> IPv4Network:
+        """Allocate one /24 that the AS will originate in BGP."""
+        del asn  # allocation is global; the caller records ownership
+        return self._routed_pool.allocate(24)

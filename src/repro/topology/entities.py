@@ -1,0 +1,369 @@
+"""Entity dataclasses for the synthetic Internet/IXP world.
+
+These classes describe the *ground truth*: where every facility is, which IXP
+operates switching fabric where, which AS has routing equipment in which
+facility, and — crucially — how every IXP member is really connected (locally,
+through a port reseller, over a long layer-2 cable, or via an IXP federation).
+
+The inference pipeline never sees these objects directly; it only sees the
+noisy views produced by :mod:`repro.datasources` and the measurement results
+produced by :mod:`repro.measurement`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.constants import FRACTIONAL_CAPACITIES, PHYSICAL_CAPACITIES
+from repro.exceptions import TopologyError
+from repro.geo.coordinates import GeoPoint
+
+
+class ConnectionKind(enum.Enum):
+    """Ground-truth way an IXP member reaches the IXP switching fabric."""
+
+    LOCAL = "local"
+    REMOTE_RESELLER = "remote-reseller"
+    REMOTE_LONG_CABLE = "remote-long-cable"
+    REMOTE_FEDERATION = "remote-federation"
+
+    @property
+    def is_remote(self) -> bool:
+        """True for every kind except a direct local connection."""
+        return self is not ConnectionKind.LOCAL
+
+
+class InterfaceKind(enum.Enum):
+    """Role of a router interface."""
+
+    IXP_LAN = "ixp-lan"           #: address inside an IXP peering LAN
+    BACKBONE = "backbone"         #: intra-AS / transit interface
+    PRIVATE_PEERING = "private"   #: private (non-IXP) interconnection interface
+
+
+class TrafficLevel(enum.Enum):
+    """Self-reported aggregate traffic levels, PeeringDB-style buckets."""
+
+    MBPS_100 = "0-100 Mbps"
+    MBPS_1000 = "100-1000 Mbps"
+    GBPS_5 = "1-5 Gbps"
+    GBPS_10 = "5-10 Gbps"
+    GBPS_100 = "10-100 Gbps"
+    GBPS_1000 = "100-1000 Gbps"
+    TBPS_PLUS = "1 Tbps+"
+
+    @property
+    def ordinal(self) -> int:
+        """Monotonic rank of the bucket (0 = smallest traffic)."""
+        return list(TrafficLevel).index(self)
+
+
+@dataclass(frozen=True)
+class Facility:
+    """A colocation facility (data centre) where networks can deploy routers.
+
+    Attributes
+    ----------
+    facility_id:
+        Unique identifier, e.g. ``"fac-0042"``.
+    name:
+        Human-readable name, e.g. ``"Equinix AM7 Amsterdam"``.
+    city / country:
+        City name (gazetteer) and ISO alpha-2 country code.
+    location:
+        Geographic coordinates of the facility.
+    operator:
+        Facility operator brand (used only for realism in exports).
+    """
+
+    facility_id: str
+    name: str
+    city: str
+    country: str
+    location: GeoPoint
+    operator: str = "Generic DC"
+
+
+@dataclass
+class AutonomousSystem:
+    """An autonomous system (network) in the synthetic world.
+
+    Attributes
+    ----------
+    asn:
+        Autonomous System Number.
+    name:
+        Organisation name.
+    country:
+        ISO alpha-2 country code of the headquarters.
+    headquarters_city:
+        Gazetteer city of the headquarters.
+    facility_ids:
+        Facilities where the AS has deployed routing equipment (ground truth).
+    tier:
+        1 for transit-free backbones, 2 for regional transit providers, 3 for
+        stub/edge networks.  Drives the relationship generator.
+    traffic_level:
+        Self-reported aggregate traffic bucket (PeeringDB-style).
+    user_population:
+        Estimated served user population (APNIC-style).
+    prefix_count:
+        Number of /24-equivalent prefixes originated by the AS.
+    is_reseller_carrier:
+        True if the AS is the carrier network of a port reseller.
+    """
+
+    asn: int
+    name: str
+    country: str
+    headquarters_city: str
+    facility_ids: set[str] = field(default_factory=set)
+    tier: int = 3
+    traffic_level: TrafficLevel = TrafficLevel.MBPS_1000
+    user_population: int = 0
+    prefix_count: int = 1
+    is_reseller_carrier: bool = False
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise TopologyError(f"ASN must be positive, got {self.asn}")
+        if self.tier not in (1, 2, 3):
+            raise TopologyError(f"tier must be 1, 2 or 3, got {self.tier}")
+        if self.prefix_count < 1:
+            raise TopologyError("prefix_count must be at least 1")
+
+
+@dataclass(frozen=True)
+class PortReseller:
+    """An organisation reselling fractions of IXP ports to remote peers.
+
+    Attributes
+    ----------
+    reseller_id:
+        Unique identifier, e.g. ``"rsl-03"``.
+    name:
+        Brand name.
+    carrier_asn:
+        ASN of the layer-2 carrier network operated by the reseller.
+    facility_ids:
+        Facilities where the reseller offers access handoff.
+    served_ixp_ids:
+        IXPs on which the reseller owns physical ports to resell.
+    """
+
+    reseller_id: str
+    name: str
+    carrier_asn: int
+    facility_ids: frozenset[str]
+    served_ixp_ids: frozenset[str]
+
+
+@dataclass
+class Router:
+    """A border router owned by an AS, physically located in one facility.
+
+    Attributes
+    ----------
+    router_id:
+        Unique identifier, e.g. ``"rtr-000123"``.
+    asn:
+        Owning AS.
+    facility_id:
+        Facility where the chassis is installed (ground truth location).
+    interface_ips:
+        IP addresses configured on this router.
+    """
+
+    router_id: str
+    asn: int
+    facility_id: str
+    interface_ips: list[str] = field(default_factory=list)
+
+    def add_interface(self, ip: str) -> None:
+        """Attach an interface IP to the router (idempotent)."""
+        if ip not in self.interface_ips:
+            self.interface_ips.append(ip)
+
+
+@dataclass(frozen=True)
+class Interface:
+    """A single router interface and its role.
+
+    Attributes
+    ----------
+    ip:
+        Dotted-quad IPv4 address (unique world-wide in the simulation).
+    asn:
+        AS that the interface is assigned to.
+    router_id:
+        Router carrying the interface.
+    kind:
+        Role of the interface (IXP LAN / backbone / private peering).
+    ixp_id:
+        For IXP-LAN interfaces, the IXP whose peering LAN contains the IP.
+    """
+
+    ip: str
+    asn: int
+    router_id: str
+    kind: InterfaceKind
+    ixp_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is InterfaceKind.IXP_LAN and self.ixp_id is None:
+            raise TopologyError(f"IXP-LAN interface {self.ip} must reference an IXP")
+
+
+@dataclass
+class IXP:
+    """An Internet eXchange Point.
+
+    Attributes
+    ----------
+    ixp_id:
+        Unique identifier, e.g. ``"ixp-007"``.
+    name:
+        Exchange name, e.g. ``"AMS-IX-SIM"``.
+    city / country:
+        Primary metro and country of the exchange.
+    peering_lan:
+        The IPv4 prefix (CIDR string) of the peering LAN.
+    facility_ids:
+        Facilities where the IXP operates switching equipment.
+    min_physical_capacity_mbps:
+        Minimum port capacity (Mbit/s) that can be bought *directly* from the
+        IXP; anything below this is only available through resellers.
+    allows_resellers:
+        Whether the IXP runs a reseller programme at all.
+    route_server_ip:
+        Address of the IXP route server inside the peering LAN (used as the
+        reference target when sanity-checking Atlas vantage points).
+    federation_id:
+        Identifier shared by IXPs belonging to the same federation (e.g. the
+        GlobePeer-style products); ``None`` for standalone IXPs.
+    """
+
+    ixp_id: str
+    name: str
+    city: str
+    country: str
+    peering_lan: str
+    facility_ids: set[str] = field(default_factory=set)
+    min_physical_capacity_mbps: int = 1_000
+    allows_resellers: bool = True
+    route_server_ip: str | None = None
+    federation_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_physical_capacity_mbps not in PHYSICAL_CAPACITIES:
+            raise TopologyError(
+                "min_physical_capacity_mbps must be one of the physical port "
+                f"capacities {PHYSICAL_CAPACITIES}, got {self.min_physical_capacity_mbps}"
+            )
+
+
+@dataclass(frozen=True)
+class PrivateLink:
+    """A private (non-IXP) interconnection between two ASes in one facility.
+
+    Private interconnections are typically established by cross-connecting
+    routers inside the same colocation facility (Section 5.1.4); Step 5 of the
+    inference algorithm exploits exactly this property.
+
+    Attributes
+    ----------
+    facility_id:
+        Facility where the cross-connect lives.
+    asn_a / asn_b:
+        The two interconnected networks.
+    interface_a / interface_b:
+        The interface addresses on either side of the link (used when the
+        traceroute simulator expands the hop).
+    router_a / router_b:
+        The routers terminating the link.
+    """
+
+    facility_id: str
+    asn_a: int
+    asn_b: int
+    interface_a: str
+    interface_b: str
+    router_a: str
+    router_b: str
+
+    def involves(self, asn: int) -> bool:
+        """True if ``asn`` is one of the two endpoints."""
+        return asn in (self.asn_a, self.asn_b)
+
+    def other_end(self, asn: int) -> int:
+        """The ASN at the opposite end of the link from ``asn``."""
+        if asn == self.asn_a:
+            return self.asn_b
+        if asn == self.asn_b:
+            return self.asn_a
+        raise TopologyError(f"AS{asn} is not an endpoint of this private link")
+
+
+@dataclass
+class IXPMembership:
+    """Ground truth of how one AS peers at one IXP.
+
+    Attributes
+    ----------
+    ixp_id / asn:
+        The exchange and the member network.
+    interface_ip:
+        The member's address inside the IXP peering LAN.
+    router_id:
+        The member router terminating the IXP port or VLAN.
+    member_facility_id:
+        Facility where that router is physically installed.  For a local
+        member this is one of the IXP's facilities; for a remote member it
+        usually is not.
+    connection:
+        Ground-truth connection kind (local / reseller / long cable /
+        federation).
+    port_capacity_mbps:
+        Capacity of the port or virtual port.
+    reseller_id:
+        Reseller used, when ``connection`` is ``REMOTE_RESELLER``.
+    joined_month / departed_month:
+        Month indices (0-based, relative to the start of the longitudinal
+        window) used by the evolution analysis; ``departed_month`` is ``None``
+        for members still connected.
+    """
+
+    ixp_id: str
+    asn: int
+    interface_ip: str
+    router_id: str
+    member_facility_id: str
+    connection: ConnectionKind
+    port_capacity_mbps: int
+    reseller_id: str | None = None
+    joined_month: int = 0
+    departed_month: int | None = None
+
+    def __post_init__(self) -> None:
+        valid_capacities = set(PHYSICAL_CAPACITIES) | set(FRACTIONAL_CAPACITIES)
+        if self.port_capacity_mbps not in valid_capacities:
+            raise TopologyError(
+                f"unknown port capacity {self.port_capacity_mbps} Mbps for "
+                f"AS{self.asn} at {self.ixp_id}"
+            )
+        if self.connection is ConnectionKind.REMOTE_RESELLER and self.reseller_id is None:
+            raise TopologyError(
+                f"reseller connection for AS{self.asn} at {self.ixp_id} must name a reseller"
+            )
+
+    @property
+    def is_remote(self) -> bool:
+        """Ground-truth remoteness of this membership."""
+        return self.connection.is_remote
+
+    def active_in_month(self, month: int) -> bool:
+        """True if the membership exists during the given month index."""
+        if month < self.joined_month:
+            return False
+        return self.departed_month is None or month < self.departed_month

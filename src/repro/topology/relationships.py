@@ -1,0 +1,195 @@
+"""AS business relationships and customer cones.
+
+Section 6.2 of the paper characterises remote/local/hybrid IXP members by the
+size of their CAIDA customer cone.  This module provides the substrate: a
+relationship graph holding customer-to-provider (c2p) and peer-to-peer (p2p)
+edges, plus the customer-cone computation (the set of ASes reachable by
+walking provider->customer edges only).
+
+The same graph also feeds the BGP-like path selection of
+:mod:`repro.routing.path_selection` (Gao-Rexford preferences).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.exceptions import TopologyError
+
+
+class Relationship(enum.Enum):
+    """Business relationship between two ASes."""
+
+    CUSTOMER_TO_PROVIDER = "c2p"
+    PEER_TO_PEER = "p2p"
+
+
+@dataclass(frozen=True)
+class RelationshipEdge:
+    """One relationship record, CAIDA serialisation style.
+
+    For ``CUSTOMER_TO_PROVIDER`` the edge is read "``customer`` buys transit
+    from ``provider``"; for ``PEER_TO_PEER`` the two fields are just the two
+    peers (order not meaningful).
+    """
+
+    first_asn: int
+    second_asn: int
+    relationship: Relationship
+
+
+class ASRelationshipGraph:
+    """Holds c2p / p2p edges and answers cone and neighbour queries."""
+
+    def __init__(self) -> None:
+        # Directed graph with provider -> customer edges.
+        self._transit = nx.DiGraph()
+        # Undirected graph for p2p edges.
+        self._peering = nx.Graph()
+        self._cone_cache: dict[int, frozenset[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_asn(self, asn: int) -> None:
+        """Register an AS even if it has no relationships yet."""
+        self._transit.add_node(asn)
+        self._peering.add_node(asn)
+
+    def add_customer_provider(self, customer: int, provider: int) -> None:
+        """Record that ``customer`` buys transit from ``provider``."""
+        if customer == provider:
+            raise TopologyError(f"AS{customer} cannot be its own provider")
+        self.add_asn(customer)
+        self.add_asn(provider)
+        self._transit.add_edge(provider, customer)
+        self._cone_cache.clear()
+
+    def add_peering(self, asn_a: int, asn_b: int) -> None:
+        """Record a settlement-free peering between two ASes."""
+        if asn_a == asn_b:
+            raise TopologyError(f"AS{asn_a} cannot peer with itself")
+        self.add_asn(asn_a)
+        self.add_asn(asn_b)
+        self._peering.add_edge(asn_a, asn_b)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def asns(self) -> set[int]:
+        """All registered ASNs."""
+        return set(self._transit.nodes)
+
+    def providers_of(self, asn: int) -> set[int]:
+        """Direct transit providers of an AS."""
+        if asn not in self._transit:
+            return set()
+        return set(self._transit.predecessors(asn))
+
+    def customers_of(self, asn: int) -> set[int]:
+        """Direct customers of an AS."""
+        if asn not in self._transit:
+            return set()
+        return set(self._transit.successors(asn))
+
+    def peers_of(self, asn: int) -> set[int]:
+        """Settlement-free peers of an AS."""
+        if asn not in self._peering:
+            return set()
+        return set(self._peering.neighbors(asn))
+
+    def relationship_between(self, asn_a: int, asn_b: int) -> str | None:
+        """Return the relationship from ``asn_a``'s point of view.
+
+        Returns ``"c2p"`` if ``asn_a`` is a customer of ``asn_b``, ``"p2c"``
+        if ``asn_a`` is a provider of ``asn_b``, ``"p2p"`` for settlement-free
+        peering, or ``None`` if the two ASes have no direct relationship.
+        """
+        if self._transit.has_edge(asn_b, asn_a):
+            return "c2p"
+        if self._transit.has_edge(asn_a, asn_b):
+            return "p2c"
+        if self._peering.has_edge(asn_a, asn_b):
+            return "p2p"
+        return None
+
+    def is_provider_of(self, provider: int, customer: int) -> bool:
+        """True if ``provider`` sells transit to ``customer``."""
+        return self._transit.has_edge(provider, customer)
+
+    # ------------------------------------------------------------------ #
+    # Customer cones
+    # ------------------------------------------------------------------ #
+    def customer_cone(self, asn: int) -> frozenset[int]:
+        """The customer cone of an AS (itself plus everything below it).
+
+        Defined as in CAIDA's serial-1 dataset: the set of ASes reachable by
+        following only provider->customer edges, including the AS itself.
+        """
+        if asn in self._cone_cache:
+            return self._cone_cache[asn]
+        if asn not in self._transit:
+            cone = frozenset({asn})
+            self._cone_cache[asn] = cone
+            return cone
+        visited: set[int] = {asn}
+        queue: deque[int] = deque([asn])
+        while queue:
+            current = queue.popleft()
+            for customer in self._transit.successors(current):
+                if customer not in visited:
+                    visited.add(customer)
+                    queue.append(customer)
+        cone = frozenset(visited)
+        self._cone_cache[asn] = cone
+        return cone
+
+    def customer_cone_size(self, asn: int) -> int:
+        """Number of ASes in the customer cone (including the AS itself)."""
+        return len(self.customer_cone(asn))
+
+    def all_cone_sizes(self) -> dict[int, int]:
+        """Customer-cone size for every registered AS."""
+        return {asn: self.customer_cone_size(asn) for asn in self.asns}
+
+    # ------------------------------------------------------------------ #
+    # Export / sanity
+    # ------------------------------------------------------------------ #
+    def edges(self) -> list[RelationshipEdge]:
+        """Return every relationship as a list of records (CAIDA-dump style)."""
+        records: list[RelationshipEdge] = []
+        for provider, customer in self._transit.edges:
+            records.append(
+                RelationshipEdge(
+                    first_asn=customer,
+                    second_asn=provider,
+                    relationship=Relationship.CUSTOMER_TO_PROVIDER,
+                )
+            )
+        for a, b in self._peering.edges:
+            records.append(
+                RelationshipEdge(first_asn=a, second_asn=b, relationship=Relationship.PEER_TO_PEER)
+            )
+        return records
+
+    def validate_acyclic(self) -> None:
+        """Ensure the transit hierarchy has no customer/provider cycles."""
+        if not nx.is_directed_acyclic_graph(self._transit):
+            cycle = nx.find_cycle(self._transit)
+            raise TopologyError(f"transit hierarchy contains a cycle: {cycle}")
+
+    def degree_summary(self) -> dict[int, dict[str, int]]:
+        """Per-AS neighbour counts, useful for analysis and tests."""
+        summary: dict[int, dict[str, int]] = defaultdict(dict)
+        for asn in self.asns:
+            summary[asn] = {
+                "providers": len(self.providers_of(asn)),
+                "customers": len(self.customers_of(asn)),
+                "peers": len(self.peers_of(asn)),
+            }
+        return dict(summary)

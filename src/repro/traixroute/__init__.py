@@ -1,0 +1,16 @@
+"""IXP crossing detection in traceroute paths (traIXroute re-implementation).
+
+The paper processes its traceroute corpus with traIXroute to find paths that
+cross IXP fabrics.  :mod:`repro.traixroute.detector` re-implements the same
+IP-triplet detection rules on top of the merged observed dataset (peering-LAN
+prefixes and interface-to-member mappings) and Routeviews-style IP-to-AS
+mapping.
+"""
+
+from repro.traixroute.detector import (
+    CrossingDetector,
+    IXPCrossing,
+    PrivateAdjacency,
+)
+
+__all__ = ["CrossingDetector", "IXPCrossing", "PrivateAdjacency"]

@@ -1,0 +1,162 @@
+"""Detection of IXP crossings and private adjacencies in traceroute paths.
+
+The triplet rule (Section 3.3 of the paper): a path crosses an IXP when three
+consecutive responding hops ``(IP1, IP2, IP3)`` satisfy
+
+1. ``IP2`` belongs to an IXP peering LAN and is assigned to the same AS as
+   ``IP3`` (the member that the packet *enters* through the exchange),
+2. the AS of ``IP1`` differs from that member, and
+3. both ASes are members of the IXP owning the peering LAN.
+
+The same module also extracts *private adjacencies*: consecutive responding
+hops whose addresses belong to different ASes without any IXP LAN in between,
+which is the raw material of Step 5 (private-connectivity localisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasources.merge import ObservedDataset
+from repro.datasources.prefix2as import Prefix2ASMap
+from repro.measurement.results import TracerouteCorpus
+from repro.routing.forwarding import ForwardingPath
+
+
+@dataclass(frozen=True)
+class IXPCrossing:
+    """One detected IXP crossing.
+
+    Attributes
+    ----------
+    ixp_id:
+        The IXP whose peering LAN was traversed.
+    entry_ip / entry_asn:
+        The hop *before* the IXP LAN address (the near-side member's border
+        router) and the AS it maps to.
+    ixp_interface_ip / far_asn:
+        The IXP LAN address observed and the member AS it is assigned to
+        (the far-side member).
+    exit_ip:
+        The hop right after the IXP LAN address.
+    """
+
+    ixp_id: str
+    entry_ip: str
+    entry_asn: int
+    ixp_interface_ip: str
+    far_asn: int
+    exit_ip: str
+
+
+@dataclass(frozen=True)
+class PrivateAdjacency:
+    """Two consecutive hops in different ASes with no IXP LAN in between."""
+
+    near_ip: str
+    near_asn: int
+    far_ip: str
+    far_asn: int
+
+
+class CrossingDetector:
+    """Applies the triplet rule over traceroute paths."""
+
+    def __init__(self, dataset: ObservedDataset, prefix2as: Prefix2ASMap) -> None:
+        self.dataset = dataset
+        self.prefix2as = prefix2as
+        # Pre-compute membership sets per IXP for rule (3).
+        self._members: dict[str, set[int]] = {
+            ixp_id: dataset.members_of_ixp(ixp_id) for ixp_id in dataset.ixp_ids()
+        }
+
+    # ------------------------------------------------------------------ #
+    # IP classification helpers
+    # ------------------------------------------------------------------ #
+    def ixp_of_ip(self, ip: str) -> str | None:
+        """The IXP whose peering LAN contains ``ip``, if any."""
+        known = self.dataset.ixp_of_interface(ip)
+        if known is not None:
+            return known
+        return self.dataset.ixp_for_ip(ip)
+
+    def asn_of_ip(self, ip: str) -> int | None:
+        """Best-effort IP-to-AS mapping (IXP interface list, then prefix2as)."""
+        asn = self.dataset.asn_of_interface(ip)
+        if asn is not None:
+            return asn
+        return self.prefix2as.lookup(ip)
+
+    # ------------------------------------------------------------------ #
+    # Detection
+    # ------------------------------------------------------------------ #
+    def detect(self, path: ForwardingPath) -> list[IXPCrossing]:
+        """Detect every IXP crossing in one path."""
+        crossings: list[IXPCrossing] = []
+        hops = [hop.ip for hop in path.hops]
+        for index in range(1, len(hops) - 1):
+            first, middle, last = hops[index - 1], hops[index], hops[index + 1]
+            if first is None or middle is None or last is None:
+                continue
+            ixp_id = self.ixp_of_ip(middle)
+            if ixp_id is None:
+                continue
+            far_asn = self.dataset.asn_of_interface(middle)
+            if far_asn is None:
+                continue
+            last_asn = self.asn_of_ip(last)
+            if last_asn is None or last_asn != far_asn:
+                continue
+            entry_asn = self.asn_of_ip(first)
+            if entry_asn is None or entry_asn == far_asn:
+                continue
+            members = self._members.get(ixp_id, set())
+            if entry_asn not in members or far_asn not in members:
+                continue
+            crossings.append(
+                IXPCrossing(
+                    ixp_id=ixp_id,
+                    entry_ip=first,
+                    entry_asn=entry_asn,
+                    ixp_interface_ip=middle,
+                    far_asn=far_asn,
+                    exit_ip=last,
+                )
+            )
+        return crossings
+
+    def detect_corpus(self, corpus: TracerouteCorpus) -> list[IXPCrossing]:
+        """Detect crossings over an entire corpus."""
+        crossings: list[IXPCrossing] = []
+        for path in corpus.paths:
+            crossings.extend(self.detect(path))
+        return crossings
+
+    # ------------------------------------------------------------------ #
+    # Private adjacencies (Step 5 input)
+    # ------------------------------------------------------------------ #
+    def private_adjacencies(self, path: ForwardingPath) -> list[PrivateAdjacency]:
+        """Extract consecutive-hop AS adjacencies that do not cross an IXP."""
+        adjacencies: list[PrivateAdjacency] = []
+        hops = [hop.ip for hop in path.hops]
+        for index in range(len(hops) - 1):
+            near, far = hops[index], hops[index + 1]
+            if near is None or far is None:
+                continue
+            if self.ixp_of_ip(near) is not None or self.ixp_of_ip(far) is not None:
+                continue
+            near_asn = self.asn_of_ip(near)
+            far_asn = self.asn_of_ip(far)
+            if near_asn is None or far_asn is None or near_asn == far_asn:
+                continue
+            adjacencies.append(
+                PrivateAdjacency(near_ip=near, near_asn=near_asn, far_ip=far, far_asn=far_asn)
+            )
+        return adjacencies
+
+    def private_adjacencies_corpus(self, corpus: TracerouteCorpus) -> list[PrivateAdjacency]:
+        """Extract private adjacencies over an entire corpus."""
+        adjacencies: list[PrivateAdjacency] = []
+        for path in corpus.paths:
+            adjacencies.extend(self.private_adjacencies(path))
+        return adjacencies

@@ -1,0 +1,32 @@
+"""Validation datasets and metrics.
+
+The paper validates its methodology against ground truth obtained from IXP
+operators (6 IXPs) and from IXP websites that publish member port types
+(9 IXPs), split into a "control" subset (no public vantage point; used to
+study inference challenges) and a "test" subset (with vantage points; used to
+validate the full methodology).  The metrics are the coverage, false-positive
+rate, false-negative rate, precision and accuracy of Table 3.
+
+Here the ground truth comes from the generated world, exported with the same
+partial coverage an operator list would have.
+"""
+
+from repro.validation.dataset import (
+    ValidationDataset,
+    ValidationDatasetBuilder,
+    ValidationEntry,
+    ValidationSubset,
+)
+from repro.validation.metrics import ValidationMetrics, evaluate_report
+from repro.validation.report import per_ixp_metrics, per_step_metrics
+
+__all__ = [
+    "ValidationDataset",
+    "ValidationDatasetBuilder",
+    "ValidationEntry",
+    "ValidationSubset",
+    "ValidationMetrics",
+    "evaluate_report",
+    "per_ixp_metrics",
+    "per_step_metrics",
+]

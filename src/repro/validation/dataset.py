@@ -1,0 +1,169 @@
+"""Construction of the validation dataset (ground-truth labels).
+
+The exported labels mimic what the paper obtained from operators and
+websites: only a subset of each IXP's members is labelled (operators know who
+connects through their reseller programme, but not what happens "beyond the
+cable"), and the labelled IXPs are split into a *control* subset (no usable
+vantage point — used in Section 4 to study RTT-only inference) and a *test*
+subset (with vantage points — used to validate the methodology in Section
+5.3).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+from repro.topology.world import World
+
+
+class ValidationSubset(enum.Enum):
+    """Which validation subset an IXP belongs to."""
+
+    CONTROL = "control"
+    TEST = "test"
+
+
+class ValidationProvenance(enum.Enum):
+    """Where the labels of an IXP came from."""
+
+    OPERATORS = "operators"
+    WEBSITES = "websites"
+
+
+@dataclass(frozen=True)
+class ValidationEntry:
+    """Ground-truth label for one member interface."""
+
+    ixp_id: str
+    interface_ip: str
+    asn: int
+    is_remote: bool
+
+
+@dataclass
+class ValidationDataset:
+    """Partial ground-truth labels for a set of IXPs."""
+
+    entries: dict[tuple[str, str], ValidationEntry] = field(default_factory=dict)
+    subsets: dict[str, ValidationSubset] = field(default_factory=dict)
+    provenance: dict[str, ValidationProvenance] = field(default_factory=dict)
+    total_members: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def add(self, entry: ValidationEntry) -> None:
+        """Register one labelled interface."""
+        self.entries[(entry.ixp_id, entry.interface_ip)] = entry
+
+    def label_for(self, ixp_id: str, interface_ip: str) -> bool | None:
+        """Ground-truth remoteness for an interface, if validated."""
+        entry = self.entries.get((ixp_id, interface_ip))
+        return entry.is_remote if entry else None
+
+    def entries_for_ixp(self, ixp_id: str) -> list[ValidationEntry]:
+        """Every labelled interface of one IXP."""
+        return [e for (ixp, _), e in self.entries.items() if ixp == ixp_id]
+
+    def ixp_ids(self, subset: ValidationSubset | None = None) -> list[str]:
+        """Validated IXPs, optionally restricted to one subset."""
+        return sorted(
+            ixp_id for ixp_id, s in self.subsets.items() if subset is None or s is subset
+        )
+
+    def control_ixps(self) -> list[str]:
+        """IXPs in the control subset."""
+        return self.ixp_ids(ValidationSubset.CONTROL)
+
+    def test_ixps(self) -> list[str]:
+        """IXPs in the test subset."""
+        return self.ixp_ids(ValidationSubset.TEST)
+
+    def counts(self, ixp_id: str) -> dict[str, int]:
+        """Validated/local/remote counts for one IXP (one row of Table 2)."""
+        entries = self.entries_for_ixp(ixp_id)
+        remote = sum(1 for e in entries if e.is_remote)
+        return {
+            "total_peers": self.total_members.get(ixp_id, len(entries)),
+            "validated_peers": len(entries),
+            "local": len(entries) - remote,
+            "remote": remote,
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class ValidationDatasetBuilder:
+    """Exports partial ground-truth labels from the world."""
+
+    def __init__(
+        self,
+        world: World,
+        *,
+        seed: int | None = None,
+        coverage_range: tuple[float, float] = (0.45, 0.80),
+    ) -> None:
+        low, high = coverage_range
+        if not (0.0 < low <= high <= 1.0):
+            raise ValidationError("coverage_range must satisfy 0 < low <= high <= 1")
+        self.world = world
+        self.coverage_range = coverage_range
+        self._rng = random.Random((seed if seed is not None else world.seed) * 37 + 5)
+
+    def build(
+        self,
+        candidate_ixp_ids: list[str],
+        ixps_with_vantage_points: set[str],
+        *,
+        operator_count: int = 6,
+        max_ixps: int = 15,
+    ) -> ValidationDataset:
+        """Build the validation dataset.
+
+        Parameters
+        ----------
+        candidate_ixp_ids:
+            IXPs for which ground truth could plausibly be obtained (the
+            paper's 15), usually the largest ones.
+        ixps_with_vantage_points:
+            IXPs with at least one usable vantage point; these form the
+            *test* subset, the rest form the *control* subset.
+        operator_count:
+            How many IXPs are labelled "provided by operators" (the others
+            count as website-derived); affects only reporting.
+        max_ixps:
+            Upper bound on the number of validated IXPs.
+        """
+        if not candidate_ixp_ids:
+            raise ValidationError("candidate_ixp_ids must not be empty")
+        dataset = ValidationDataset()
+        chosen = candidate_ixp_ids[:max_ixps]
+        for index, ixp_id in enumerate(chosen):
+            subset = (
+                ValidationSubset.TEST
+                if ixp_id in ixps_with_vantage_points
+                else ValidationSubset.CONTROL
+            )
+            dataset.subsets[ixp_id] = subset
+            dataset.provenance[ixp_id] = (
+                ValidationProvenance.OPERATORS
+                if index < operator_count
+                else ValidationProvenance.WEBSITES
+            )
+            memberships = self.world.active_memberships(ixp_id)
+            dataset.total_members[ixp_id] = len(memberships)
+            coverage = self._rng.uniform(*self.coverage_range)
+            for membership in memberships:
+                if self._rng.random() >= coverage:
+                    continue
+                dataset.add(
+                    ValidationEntry(
+                        ixp_id=ixp_id,
+                        interface_ip=membership.interface_ip,
+                        asn=membership.asn,
+                        is_remote=membership.is_remote,
+                    )
+                )
+        return dataset

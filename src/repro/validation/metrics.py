@@ -1,0 +1,137 @@
+"""Validation metrics (Table 3 of the paper).
+
+All metrics ignore inferences for interfaces without validation data and
+validated interfaces that received no inference, exactly as defined in the
+paper:
+
+* ``COV`` — fraction of validated interfaces that received an inference;
+* ``FPR`` — fraction of validated-local, inferred interfaces that were
+  wrongly inferred remote;
+* ``FNR`` — fraction of validated-remote, inferred interfaces that were
+  wrongly inferred local;
+* ``PRE`` — precision of the remote class;
+* ``ACC`` — overall accuracy over inferred-and-validated interfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import InferenceReport, InferenceStep, PeeringClassification
+from repro.validation.dataset import ValidationDataset
+
+
+@dataclass(frozen=True)
+class ValidationMetrics:
+    """Confusion counts and the derived Table 3 metrics."""
+
+    validated: int
+    inferred_and_validated: int
+    true_remote: int
+    true_local: int
+    false_remote: int
+    false_local: int
+
+    @property
+    def coverage(self) -> float:
+        """COV: inferred share of the validated interfaces."""
+        if self.validated == 0:
+            return 0.0
+        return self.inferred_and_validated / self.validated
+
+    @property
+    def false_positive_rate(self) -> float:
+        """FPR: validated-local interfaces inferred remote."""
+        denominator = self.true_local + self.false_remote
+        if denominator == 0:
+            return 0.0
+        return self.false_remote / denominator
+
+    @property
+    def false_negative_rate(self) -> float:
+        """FNR: validated-remote interfaces inferred local."""
+        denominator = self.true_remote + self.false_local
+        if denominator == 0:
+            return 0.0
+        return self.false_local / denominator
+
+    @property
+    def precision(self) -> float:
+        """PRE: precision of the remote class."""
+        denominator = self.true_remote + self.false_remote
+        if denominator == 0:
+            return 0.0
+        return self.true_remote / denominator
+
+    @property
+    def accuracy(self) -> float:
+        """ACC: correct inferences among inferred-and-validated interfaces."""
+        if self.inferred_and_validated == 0:
+            return 0.0
+        return (self.true_remote + self.true_local) / self.inferred_and_validated
+
+    def as_row(self) -> dict[str, float]:
+        """Render the metrics as a Table 4-style row."""
+        return {
+            "FPR": self.false_positive_rate,
+            "FNR": self.false_negative_rate,
+            "PRE": self.precision,
+            "ACC": self.accuracy,
+            "COV": self.coverage,
+        }
+
+
+def evaluate_report(
+    report: InferenceReport,
+    validation: ValidationDataset,
+    *,
+    ixp_ids: list[str] | None = None,
+    steps: set[InferenceStep] | None = None,
+) -> ValidationMetrics:
+    """Compare a report against validation labels.
+
+    Parameters
+    ----------
+    report:
+        The inference report to evaluate.
+    validation:
+        Ground-truth labels.
+    ixp_ids:
+        Restrict the evaluation to these IXPs (default: every validated IXP).
+    steps:
+        When given, only inferences produced by these steps count as
+        "inferred" — used to validate individual steps of the methodology.
+    """
+    wanted = set(ixp_ids) if ixp_ids is not None else None
+    validated = 0
+    inferred = 0
+    true_remote = true_local = false_remote = false_local = 0
+
+    for (ixp_id, interface_ip), entry in validation.entries.items():
+        if wanted is not None and ixp_id not in wanted:
+            continue
+        validated += 1
+        result = report.result_for(ixp_id, interface_ip)
+        if result is None or not result.is_inferred:
+            continue
+        if steps is not None and result.step not in steps:
+            continue
+        inferred += 1
+        inferred_remote = result.classification is PeeringClassification.REMOTE
+        if inferred_remote and entry.is_remote:
+            true_remote += 1
+        elif inferred_remote and not entry.is_remote:
+            false_remote += 1
+        elif not inferred_remote and entry.is_remote:
+            false_local += 1
+        else:
+            true_local += 1
+
+    return ValidationMetrics(
+        validated=validated,
+        inferred_and_validated=inferred,
+        true_remote=true_remote,
+        true_local=true_local,
+        false_remote=false_remote,
+        false_local=false_local,
+    )

@@ -1,0 +1,247 @@
+"""Hand-crafted miniature scenarios used by the unit tests of the core steps.
+
+The builders here construct a deliberately simple, fully controlled world:
+one or two IXPs, a handful of facilities in known cities, a few member ASes
+whose remoteness is known by construction.  Unit tests for the inference
+steps use these instead of the random generator so that every assertion is
+about a specific, understandable situation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alias.midar import AliasResolver
+from repro.core.inputs import InferenceInputs
+from repro.datasources.merge import ObservedDataset
+from repro.datasources.prefix2as import Prefix2ASMap
+from repro.geo.cities import city_by_name
+from repro.geo.coordinates import GeoPoint, offset_point
+from repro.measurement.results import PingCampaignResult, PingSample, PingSeries, TracerouteCorpus
+from repro.measurement.vantage import VantagePoint, VantagePointKind
+from repro.topology.entities import (
+    AutonomousSystem,
+    ConnectionKind,
+    Facility,
+    Interface,
+    InterfaceKind,
+    IXP,
+    IXPMembership,
+    PortReseller,
+    Router,
+)
+from repro.topology.world import World
+
+
+@dataclass
+class MiniScenario:
+    """A small, fully explicit scenario for step-level unit tests."""
+
+    world: World
+    dataset: ObservedDataset
+    ping_result: PingCampaignResult = field(default_factory=PingCampaignResult)
+    corpus: TracerouteCorpus = field(default_factory=TracerouteCorpus)
+
+    _facility_counter: int = 0
+    _router_counter: int = 0
+    _ip_counter: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def add_facility(self, city: str, *, offset_km: float = 3.0) -> Facility:
+        """Create a facility near the centre of a gazetteer city."""
+        self._facility_counter += 1
+        location = offset_point(city_by_name(city).location, offset_km, 45.0)
+        facility = Facility(
+            facility_id=f"fac-{self._facility_counter:03d}",
+            name=f"Test DC {city} {self._facility_counter}",
+            city=city,
+            country=city_by_name(city).country,
+            location=location,
+        )
+        self.world.facilities[facility.facility_id] = facility
+        self.dataset.facility_locations[facility.facility_id] = location
+        return facility
+
+    def add_ixp(self, name: str, facilities: list[Facility], *,
+                prefix: str, min_capacity: int = 1_000) -> IXP:
+        """Create an IXP spanning the given facilities."""
+        ixp = IXP(
+            ixp_id=f"ixp-{name.lower()}",
+            name=name,
+            city=facilities[0].city,
+            country=facilities[0].country,
+            peering_lan=prefix,
+            facility_ids={f.facility_id for f in facilities},
+            min_physical_capacity_mbps=min_capacity,
+            route_server_ip=prefix.rsplit(".", 1)[0] + ".250",
+        )
+        self.world.ixps[ixp.ixp_id] = ixp
+        self.dataset.ixp_prefixes[prefix] = ixp.ixp_id
+        self.dataset.ixp_facilities[ixp.ixp_id] = set(ixp.facility_ids)
+        self.dataset.min_physical_capacity[ixp.ixp_id] = min_capacity
+        return ixp
+
+    def add_as(self, asn: int, facility: Facility, *, tier: int = 3) -> AutonomousSystem:
+        """Create an AS homed at one facility."""
+        system = AutonomousSystem(
+            asn=asn,
+            name=f"AS{asn}",
+            country=facility.country,
+            headquarters_city=facility.city,
+            facility_ids={facility.facility_id},
+            tier=tier,
+        )
+        self.world.ases[asn] = system
+        self.dataset.as_facilities[asn] = {facility.facility_id}
+        return system
+
+    def add_router(self, asn: int, facility: Facility) -> Router:
+        """Create a router for an AS at a facility."""
+        self._router_counter += 1
+        router = Router(
+            router_id=f"rtr-{self._router_counter:03d}",
+            asn=asn,
+            facility_id=facility.facility_id,
+        )
+        self.world.routers[router.router_id] = router
+        return router
+
+    def add_membership(
+        self,
+        ixp: IXP,
+        asn: int,
+        router: Router,
+        facility: Facility,
+        *,
+        interface_ip: str,
+        connection: ConnectionKind = ConnectionKind.LOCAL,
+        capacity: int = 1_000,
+        reseller_id: str | None = None,
+    ) -> IXPMembership:
+        """Attach an AS to an IXP with full control over the ground truth."""
+        router.add_interface(interface_ip)
+        self.world.interfaces[interface_ip] = Interface(
+            ip=interface_ip, asn=asn, router_id=router.router_id,
+            kind=InterfaceKind.IXP_LAN, ixp_id=ixp.ixp_id)
+        membership = IXPMembership(
+            ixp_id=ixp.ixp_id,
+            asn=asn,
+            interface_ip=interface_ip,
+            router_id=router.router_id,
+            member_facility_id=facility.facility_id,
+            connection=connection,
+            port_capacity_mbps=capacity,
+            reseller_id=reseller_id,
+        )
+        self.world.add_membership(membership)
+        self.dataset.interface_ixp[interface_ip] = ixp.ixp_id
+        self.dataset.interface_asn[interface_ip] = asn
+        self.dataset.port_capacities[(ixp.ixp_id, asn)] = capacity
+        return membership
+
+    def add_backbone_interface(self, asn: int, router: Router, ip: str) -> Interface:
+        """Attach a backbone interface to a router."""
+        router.add_interface(ip)
+        interface = Interface(ip=ip, asn=asn, router_id=router.router_id,
+                              kind=InterfaceKind.BACKBONE)
+        self.world.interfaces[ip] = interface
+        return interface
+
+    def add_vantage_point(self, ixp: IXP, facility: Facility, *,
+                          kind: VantagePointKind = VantagePointKind.LOOKING_GLASS,
+                          rounds_rtt_up: bool = False) -> VantagePoint:
+        """Create a vantage point at an IXP facility."""
+        vp = VantagePoint(
+            vp_id=f"vp-{ixp.ixp_id}-{facility.facility_id}",
+            kind=kind,
+            ixp_id=ixp.ixp_id,
+            facility_id=facility.facility_id,
+            location=facility.location,
+            rounds_rtt_up=rounds_rtt_up,
+        )
+        self.ping_result.vantage_points[vp.vp_id] = vp
+        return vp
+
+    def add_ping_series(
+        self,
+        vp: VantagePoint,
+        target_ip: str,
+        rtts_ms: list[float],
+        *,
+        reply_ttl: int = 63,
+    ) -> PingSeries:
+        """Record a raw ping series for a target interface."""
+        series = PingSeries(vp_id=vp.vp_id, ixp_id=vp.ixp_id, target_ip=target_ip)
+        series.samples = [PingSample(rtt_ms=rtt, reply_ttl=reply_ttl) for rtt in rtts_ms]
+        self.ping_result.series.append(series)
+        return series
+
+    def add_route_server_series(self, vp: VantagePoint, rtts_ms: list[float],
+                                *, reply_ttl: int = 63) -> PingSeries:
+        """Record the route-server control series of a vantage point."""
+        ixp = self.world.ixps[vp.ixp_id]
+        series = PingSeries(vp_id=vp.vp_id, ixp_id=vp.ixp_id, target_ip=ixp.route_server_ip)
+        series.samples = [PingSample(rtt_ms=rtt, reply_ttl=reply_ttl) for rtt in rtts_ms]
+        self.ping_result.route_server_series.append(series)
+        return series
+
+    # ------------------------------------------------------------------ #
+    def inputs(self) -> InferenceInputs:
+        """Bundle the scenario into pipeline inputs."""
+        prefix2as = Prefix2ASMap()
+        for prefix, asn in self.world.routed_prefixes.items():
+            prefix2as.add(prefix, asn)
+        for prefix, asn in self.world.infrastructure_prefixes.items():
+            prefix2as.add(prefix, asn)
+        return InferenceInputs(
+            dataset=self.dataset,
+            ping_result=self.ping_result,
+            corpus=self.corpus,
+            prefix2as=prefix2as,
+            alias_resolver=AliasResolver(self.world, miss_rate=0.0),
+        )
+
+
+def build_scenario() -> MiniScenario:
+    """An empty scenario ready to be populated."""
+    return MiniScenario(world=World(seed=1), dataset=ObservedDataset())
+
+
+def dual_city_scenario() -> MiniScenario:
+    """A ready-made scenario with one IXP in Amsterdam and peers near and far.
+
+    * AS 65001 — local peer, colocated in the Amsterdam IXP facility.
+    * AS 65002 — remote peer in Frankfurt (long cable), ~360 km away.
+    * AS 65003 — remote reseller customer in Rotterdam (same metro,
+      fractional port).
+    """
+    scenario = build_scenario()
+    ams = scenario.add_facility("Amsterdam")
+    fra = scenario.add_facility("Frankfurt")
+    rot = scenario.add_facility("Rotterdam")
+    ixp = scenario.add_ixp("AMS-TEST", [ams], prefix="185.1.0.0/24")
+
+    scenario.add_as(65001, ams)
+    local_router = scenario.add_router(65001, ams)
+    scenario.add_membership(ixp, 65001, local_router, ams,
+                            interface_ip="185.1.0.1", capacity=10_000)
+
+    scenario.add_as(65002, fra)
+    remote_router = scenario.add_router(65002, fra)
+    scenario.add_membership(ixp, 65002, remote_router, fra,
+                            interface_ip="185.1.0.2",
+                            connection=ConnectionKind.REMOTE_LONG_CABLE,
+                            capacity=1_000)
+
+    scenario.add_as(65003, rot)
+    reseller_router = scenario.add_router(65003, rot)
+    scenario.world.resellers["rsl-test"] = PortReseller(
+        reseller_id="rsl-test", name="Test Reseller", carrier_asn=64999,
+        facility_ids=frozenset({ams.facility_id}), served_ixp_ids=frozenset({ixp.ixp_id}))
+    scenario.add_membership(ixp, 65003, reseller_router, rot,
+                            interface_ip="185.1.0.3",
+                            connection=ConnectionKind.REMOTE_RESELLER,
+                            capacity=100, reseller_id="rsl-test")
+    return scenario

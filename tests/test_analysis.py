@@ -1,0 +1,168 @@
+"""Tests for the Section 6 analyses (wide-area, features, evolution, routing)."""
+
+import pytest
+
+from repro.analysis.ecdf import ECDF
+from repro.analysis.evolution import EvolutionAnalysis
+from repro.analysis.features import MemberFeatureAnalysis
+from repro.analysis.wide_area import (
+    classify_wide_area_ixps,
+    wide_area_fraction,
+    wide_area_fraction_among_largest,
+)
+from repro.exceptions import ReproError
+
+
+class TestECDF:
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ReproError):
+            ECDF.from_values([])
+
+    def test_fraction_below(self):
+        ecdf = ECDF.from_values([1.0, 2.0, 3.0, 4.0])
+        assert ecdf.fraction_below(0.5) == 0.0
+        assert ecdf.fraction_below(2.0) == pytest.approx(0.5)
+        assert ecdf.fraction_below(10.0) == 1.0
+
+    def test_median_and_quantiles(self):
+        ecdf = ECDF.from_values([5.0, 1.0, 3.0])
+        assert ecdf.median == pytest.approx(3.0)
+        assert ecdf.quantile(0.0) == pytest.approx(1.0)
+        assert ecdf.quantile(1.0) == pytest.approx(5.0)
+
+    def test_invalid_quantile_rejected(self):
+        ecdf = ECDF.from_values([1.0])
+        with pytest.raises(ReproError):
+            ecdf.quantile(1.5)
+
+    def test_curve_is_monotonic(self):
+        ecdf = ECDF.from_values(list(range(100)))
+        curve = ecdf.curve(points=10)
+        values = [v for v, _ in curve]
+        fractions = [f for _, f in curve]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_curve_requires_two_points(self):
+        with pytest.raises(ReproError):
+            ECDF.from_values([1.0]).curve(points=1)
+
+
+class TestWideArea:
+    def test_classification_matches_ground_truth_span(self, small_study):
+        records = classify_wide_area_ixps(small_study.dataset)
+        world = small_study.world
+        agree = 0
+        checked = 0
+        for ixp_id, record in records.items():
+            truth = world.max_ixp_facility_distance_km(ixp_id) > 50.0
+            checked += 1
+            if truth == record.is_wide_area:
+                agree += 1
+        assert checked > 0
+        assert agree / checked >= 0.8  # observed facility lists may be incomplete
+
+    def test_fraction_bounds(self, small_study):
+        records = classify_wide_area_ixps(small_study.dataset)
+        assert 0.0 <= wide_area_fraction(records) <= 1.0
+        assert 0.0 <= wide_area_fraction_among_largest(records, 5) <= 1.0
+
+    def test_empty_records(self):
+        assert wide_area_fraction({}) == 0.0
+        assert wide_area_fraction_among_largest({}, 10) == 0.0
+
+    def test_min_members_filter(self, small_study):
+        all_records = classify_wide_area_ixps(small_study.dataset, min_members=2)
+        strict = classify_wide_area_ixps(small_study.dataset, min_members=10_000)
+        assert len(strict) <= len(all_records)
+
+
+class TestMemberFeatures:
+    @pytest.fixture(scope="class")
+    def analysis(self, small_study, small_outcome):
+        return MemberFeatureAnalysis(report=small_outcome.report, dataset=small_study.dataset)
+
+    def test_class_shares_sum_to_one(self, analysis):
+        shares = analysis.class_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert all(0.0 <= v <= 1.0 for v in shares.values())
+
+    def test_member_classes_cover_inferred_ases(self, analysis, small_outcome):
+        classes = analysis.member_classes()
+        inferred_asns = {r.asn for r in small_outcome.report.inferred()}
+        assert set(classes) == inferred_asns
+
+    def test_cones_by_class_are_positive(self, analysis):
+        for cones in analysis.customer_cones_by_class().values():
+            assert all(c >= 1 for c in cones)
+
+    def test_hybrid_members_have_larger_mean_cones(self, analysis):
+        means = analysis.mean_cone_by_class()
+        if "hybrid" in means and "local" in means:
+            assert means["hybrid"] >= means["local"]
+
+    def test_facility_ecdfs(self, analysis):
+        assert analysis.facility_count_ecdf_for_ases().fraction_below(1) > 0.0
+        assert analysis.facility_count_ecdf_for_ixps().fraction_below(50) == pytest.approx(1.0)
+
+    def test_traffic_levels_by_class(self, analysis):
+        per_class = analysis.traffic_levels_by_class()
+        assert set(per_class) == {"local", "remote", "hybrid"}
+
+    def test_top_countries(self, analysis):
+        top = analysis.top_countries_by_class(top=3)
+        for label, entries in top.items():
+            assert len(entries) <= 3
+            for country, share in entries:
+                assert len(country) == 2
+                assert 0.0 < share <= 1.0
+
+
+class TestEvolution:
+    def test_series_are_consistent(self, small_study, small_outcome):
+        analysis = EvolutionAnalysis(world=small_study.world, report=small_outcome.report,
+                                     ixp_ids=small_study.studied_ixp_ids)
+        series = analysis.series()
+        assert set(series) == {"local", "remote"}
+        for s in series.values():
+            assert len(s.months) == len(s.active_members)
+            assert s.cumulative_joins == sorted(s.cumulative_joins)
+            assert s.cumulative_departures == sorted(s.cumulative_departures)
+
+    def test_remote_grows_faster_than_local(self, small_study, small_outcome):
+        analysis = EvolutionAnalysis(world=small_study.world, report=small_outcome.report,
+                                     ixp_ids=small_study.studied_ixp_ids)
+        assert analysis.growth_ratio() > 1.2
+
+    def test_departure_ratio_positive(self, small_study, small_outcome):
+        analysis = EvolutionAnalysis(world=small_study.world, report=small_outcome.report,
+                                     ixp_ids=small_study.studied_ixp_ids)
+        assert analysis.departure_ratio() > 0.0
+
+    def test_ground_truth_fallback_without_report(self, small_study):
+        analysis = EvolutionAnalysis(world=small_study.world)
+        series = analysis.series()
+        total_active = series["local"].active_members[-1] + series["remote"].active_members[-1]
+        assert total_active == len(small_study.world.active_memberships())
+
+    def test_world_without_history_rejected(self):
+        from repro.topology.world import World
+        with pytest.raises(ReproError):
+            EvolutionAnalysis(world=World(seed=0)).series()
+
+
+class TestRoutingImplications:
+    def test_shares_sum_to_one(self, small_study):
+        from repro.experiments import sec64
+        result = sec64.run(small_study, max_pairs=200)
+        shares = [row["share"] for row in result.rows]
+        if result.headline["crossings_analysed"]:
+            assert sum(shares) == pytest.approx(1.0)
+
+    def test_hot_potato_is_dominant_bucket(self, small_study):
+        from repro.experiments import sec64
+        result = sec64.run(small_study, max_pairs=200)
+        if result.headline["crossings_analysed"]:
+            hot_potato = result.rows[0]["share"]
+            assert hot_potato == max(row["share"] for row in result.rows)

@@ -1,0 +1,157 @@
+"""Unit tests for the simulated data sources (per-source views)."""
+
+import pytest
+
+from repro.config import DataSourceNoiseConfig
+from repro.datasources.apnic import APNICSource
+from repro.datasources.caida import CAIDASource
+from repro.datasources.hurricane import HurricaneElectricSource
+from repro.datasources.inflect import InflectSource
+from repro.datasources.ixp_websites import IXPWebsiteSource
+from repro.datasources.pch import PacketClearingHouseSource
+from repro.datasources.peeringdb import PeeringDBSource
+from repro.datasources.records import SourceName
+from repro.exceptions import DataSourceError
+from repro.topology.world import World
+
+
+class TestSourceBasics:
+    def test_sources_reject_empty_world(self):
+        with pytest.raises(DataSourceError):
+            PeeringDBSource(World(seed=0))
+
+    def test_snapshot_is_deterministic(self, tiny_world):
+        noise = DataSourceNoiseConfig()
+        first = PeeringDBSource(tiny_world, noise).snapshot()
+        second = PeeringDBSource(tiny_world, noise).snapshot()
+        assert [r.ip for r in first.interfaces] == [r.ip for r in second.interfaces]
+        assert first.as_facility_map() == second.as_facility_map()
+
+    def test_sources_report_their_name(self, tiny_world):
+        assert IXPWebsiteSource(tiny_world).snapshot().source is SourceName.WEBSITE
+        assert HurricaneElectricSource(tiny_world).snapshot().source is SourceName.HE
+        assert PeeringDBSource(tiny_world).snapshot().source is SourceName.PDB
+        assert PacketClearingHouseSource(tiny_world).snapshot().source is SourceName.PCH
+        assert InflectSource(tiny_world).snapshot().source is SourceName.INFLECT
+
+
+class TestWebsiteSource:
+    def test_website_records_are_accurate(self, tiny_world):
+        snapshot = IXPWebsiteSource(tiny_world).snapshot()
+        for record in snapshot.interfaces:
+            membership = tiny_world.membership_for_interface(record.ip)
+            assert record.asn == membership.asn
+            assert record.ixp_id == membership.ixp_id
+
+    def test_top_ixps_have_facility_lists(self, tiny_world):
+        snapshot = IXPWebsiteSource(tiny_world).snapshot()
+        largest = tiny_world.largest_ixps(3)
+        for ixp in largest:
+            assert snapshot.ixp_facilities.get(ixp.ixp_id) == ixp.facility_ids
+
+    def test_min_capacities_match_ground_truth(self, tiny_world):
+        snapshot = IXPWebsiteSource(tiny_world).snapshot()
+        for ixp_id, capacity in snapshot.min_physical_capacity.items():
+            assert capacity == tiny_world.ixp(ixp_id).min_physical_capacity_mbps
+
+    def test_not_all_ixps_publish_member_lists(self, tiny_world):
+        noise = DataSourceNoiseConfig(website_publication_rate=0.0,
+                                      website_facility_list_top_n=0)
+        snapshot = IXPWebsiteSource(tiny_world, noise).snapshot()
+        assert not snapshot.interfaces
+        assert not snapshot.prefixes
+
+
+class TestCoverageOrdering:
+    def test_he_covers_more_interfaces_than_pch(self, tiny_world):
+        he = HurricaneElectricSource(tiny_world).snapshot()
+        pch = PacketClearingHouseSource(tiny_world).snapshot()
+        assert len(he.interfaces) > len(pch.interfaces)
+
+    def test_coverage_rates_are_respected(self, tiny_world):
+        noise = DataSourceNoiseConfig(pdb_interface_coverage=0.5)
+        snapshot = PeeringDBSource(tiny_world, noise).snapshot()
+        total = len(tiny_world.active_memberships())
+        assert 0.30 * total <= len(snapshot.interfaces) <= 0.70 * total
+
+    def test_zero_coverage_produces_no_records(self, tiny_world):
+        noise = DataSourceNoiseConfig(pch_interface_coverage=0.0, pch_prefix_coverage=0.0)
+        snapshot = PacketClearingHouseSource(tiny_world, noise).snapshot()
+        assert not snapshot.interfaces
+        assert not snapshot.prefixes
+
+
+class TestPeeringDB:
+    def test_facility_records_cover_all_facilities(self, tiny_world):
+        snapshot = PeeringDBSource(tiny_world).snapshot()
+        assert {r.facility_id for r in snapshot.facilities} == set(tiny_world.facilities)
+
+    def test_some_facility_coordinates_are_wrong(self, tiny_world):
+        noise = DataSourceNoiseConfig(facility_coordinate_error_rate=1.0,
+                                      facility_coordinate_error_km=300.0)
+        snapshot = PeeringDBSource(tiny_world, noise).snapshot()
+        from repro.geo.coordinates import geodesic_distance_km
+        errors = [
+            geodesic_distance_km(record.location,
+                                 tiny_world.facility(record.facility_id).location)
+            for record in snapshot.facilities
+        ]
+        assert all(error > 10.0 for error in errors)
+
+    def test_missing_facility_data_rate_applies(self, tiny_world):
+        noise = DataSourceNoiseConfig(facility_missing_rate_remote=1.0,
+                                      facility_missing_rate_local=1.0)
+        snapshot = PeeringDBSource(tiny_world, noise).snapshot()
+        member_asns = {m.asn for m in tiny_world.memberships}
+        covered = set(snapshot.as_facility_map())
+        assert not covered & member_asns
+
+    def test_traffic_levels_reported(self, tiny_world):
+        snapshot = PeeringDBSource(tiny_world).snapshot()
+        assert snapshot.traffic_levels
+        for asn, level in snapshot.traffic_levels.items():
+            assert level is tiny_world.autonomous_system(asn).traffic_level
+
+    def test_conflicting_records_use_wrong_asn(self, tiny_world):
+        noise = DataSourceNoiseConfig(pdb_conflict_rate=1.0)
+        snapshot = PeeringDBSource(tiny_world, noise).snapshot()
+        wrong = sum(
+            1 for record in snapshot.interfaces
+            if record.asn != tiny_world.membership_for_interface(record.ip).asn
+        )
+        assert wrong == len(snapshot.interfaces)
+
+
+class TestInflect:
+    def test_inflect_coordinates_are_exact(self, tiny_world):
+        snapshot = InflectSource(tiny_world).snapshot()
+        assert snapshot.facilities
+        for record in snapshot.facilities:
+            assert record.location == tiny_world.facility(record.facility_id).location
+
+    def test_correction_rate_limits_coverage(self, tiny_world):
+        noise = DataSourceNoiseConfig(inflect_correction_rate=0.0)
+        assert not InflectSource(tiny_world, noise).snapshot().facilities
+
+
+class TestCAIDAAndAPNIC:
+    def test_caida_cone_sizes_match_graph(self, tiny_world):
+        dataset = CAIDASource(tiny_world).snapshot()
+        assert dataset.cone_sizes == tiny_world.relationships.all_cone_sizes()
+
+    def test_caida_serialisation_format(self, tiny_world):
+        dataset = CAIDASource(tiny_world).snapshot()
+        line = CAIDASource.serialize_edge(dataset.edges[0])
+        parts = line.split("|")
+        assert len(parts) == 3
+        assert parts[2] in ("-1", "0")
+
+    def test_caida_unknown_asn_cone_is_one(self, tiny_world):
+        dataset = CAIDASource(tiny_world).snapshot()
+        assert dataset.cone_size(999_999) == 1
+
+    def test_apnic_estimates_are_close_to_truth(self, tiny_world):
+        estimates = APNICSource(tiny_world).snapshot()
+        for asn, value in estimates.items():
+            truth = tiny_world.autonomous_system(asn).user_population
+            assert 0.8 * truth <= value <= 1.2 * truth or truth == 0

@@ -1,0 +1,175 @@
+"""Tests for the experiment modules, the runner and the portal exports."""
+
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.base import ExperimentResult
+from repro.exceptions import ReproError
+from repro.portal.geojson import GeoJSONExporter
+from repro.portal.snapshots import InferenceSnapshot, SnapshotExporter
+
+
+@pytest.fixture(scope="module")
+def all_results(small_study):
+    return runner.run_all(small_study)
+
+
+class TestExperimentResult:
+    def test_text_rendering(self):
+        result = ExperimentResult(
+            experiment_id="x", title="Test", paper_reference="Table 0",
+            headline={"value": 1.234567}, rows=[{"a": 1, "b": True}, {"a": 2, "c": "z"}])
+        text = result.to_text()
+        assert "[x] Test" in text
+        assert "1.235" in text
+        assert "yes" in text
+
+    def test_markdown_rendering(self):
+        result = ExperimentResult(
+            experiment_id="x", title="Test", paper_reference="Fig. 0",
+            rows=[{"a": 1}], notes="a note")
+        markdown = result.to_markdown()
+        assert markdown.startswith("### x — Test")
+        assert "| a |" in markdown
+        assert "a note" in markdown
+
+    def test_columns_preserve_order(self):
+        result = ExperimentResult(experiment_id="x", title="t", paper_reference="r",
+                                  rows=[{"b": 1, "a": 2}, {"c": 3}])
+        assert result.columns() == ["b", "a", "c"]
+
+    def test_headline_value_lookup(self):
+        result = ExperimentResult(experiment_id="x", title="t", paper_reference="r",
+                                  headline={"k": 5})
+        assert result.headline_value("k") == 5
+        with pytest.raises(ReproError):
+            result.headline_value("missing")
+
+    def test_row_truncation(self):
+        result = ExperimentResult(experiment_id="x", title="t", paper_reference="r",
+                                  rows=[{"a": i} for i in range(100)])
+        text = result.to_text(max_rows=10)
+        assert "more rows" in text
+
+
+class TestRunner:
+    def test_all_experiments_run(self, all_results):
+        assert set(all_results) == set(runner.EXPERIMENTS)
+        for result in all_results.values():
+            assert isinstance(result, ExperimentResult)
+
+    def test_unknown_experiment_rejected(self, small_study):
+        with pytest.raises(KeyError):
+            runner.run_experiment(small_study, "fig99")
+
+    def test_reports_render(self, all_results):
+        text = runner.render_text_report(all_results)
+        markdown = runner.render_markdown_report(all_results, title="Results")
+        assert "table4" in text
+        assert markdown.startswith("## Results")
+
+    # ---- headline shape checks against the paper ---------------------- #
+    def test_table4_combined_beats_baseline(self, all_results):
+        table4 = all_results["table4"]
+        assert table4.headline["combined_accuracy"] > table4.headline["baseline_accuracy"]
+
+    def test_fig1b_remote_peers_can_be_nearby(self, all_results):
+        fig1b = all_results["fig1b"]
+        assert fig1b.headline["local_below_1ms"] > 0.85
+        assert fig1b.headline["remote_below_10ms"] > 0.05
+
+    def test_fig2b_wide_area_share(self, all_results):
+        assert 0.05 <= all_results["fig2b"].headline["wide_area_share"] <= 0.5
+
+    def test_fig4_fractional_ports_only_remote(self, all_results):
+        fig4 = all_results["fig4"]
+        assert fig4.headline["local_on_fractional_ports"] == 0.0
+        assert fig4.headline["remote_on_fractional_ports"] > 0.1
+
+    def test_fig5_colocation_signal(self, all_results):
+        fig5 = all_results["fig5"]
+        assert fig5.headline["local_with_common_facility"] > \
+            fig5.headline["remote_without_common_facility"] - 1.0
+        assert fig5.headline["remote_without_common_facility"] > 0.4
+
+    def test_fig6_samples_within_bounds(self, all_results):
+        assert all_results["fig6"].headline["share_within_bounds"] > 0.95
+
+    def test_fig8_accuracy_is_high(self, all_results):
+        assert all_results["fig8"].headline["mean_accuracy"] > 0.85
+
+    def test_fig10b_remote_share(self, all_results):
+        fig10b = all_results["fig10b"]
+        assert 0.15 <= fig10b.headline["overall_remote_share"] <= 0.5
+        assert fig10b.headline["ixps_with_more_than_10pct_remote"] >= 0.8
+
+    def test_fig12a_growth_ratio(self, all_results):
+        assert all_results["fig12a"].headline["remote_to_local_growth_ratio"] > 1.2
+
+    def test_fig9a_lg_more_responsive_than_atlas(self, all_results):
+        headline = all_results["fig9a"].headline
+        if "mean_response_rate_lg" in headline and "mean_response_rate_atlas" in headline:
+            assert headline["mean_response_rate_lg"] > headline["mean_response_rate_atlas"]
+
+    def test_table5_response_rate(self, all_results):
+        assert 0.5 <= all_results["table5"].headline["overall_response_rate"] <= 1.0
+
+
+class TestPortal:
+    def test_snapshot_roundtrip(self, small_study, small_outcome, tmp_path):
+        exporter = SnapshotExporter(small_study.dataset, seed=small_study.world.seed)
+        path = exporter.write(small_outcome, tmp_path / "snapshot.json", label="2018-04")
+        parsed = InferenceSnapshot.from_json(path.read_text())
+        assert parsed.label == "2018-04"
+        assert set(parsed.ixps) == set(small_outcome.ixp_ids)
+
+    def test_snapshot_remote_share_matches_report(self, small_study, small_outcome):
+        exporter = SnapshotExporter(small_study.dataset)
+        snapshot = exporter.build(small_outcome)
+        ixp_id = small_outcome.ixp_ids[0]
+        assert snapshot.remote_share(ixp_id) == pytest.approx(
+            small_outcome.report.remote_share(ixp_id))
+        with pytest.raises(ReproError):
+            snapshot.remote_share("ixp-unknown")
+
+    def test_geojson_structure(self, small_study, small_outcome, tmp_path):
+        exporter = GeoJSONExporter(small_study.dataset)
+        ixp_id = small_outcome.ixp_ids[0]
+        path = exporter.write(small_outcome, ixp_id, tmp_path / "map.geojson")
+        collection = json.loads(path.read_text())
+        assert collection["type"] == "FeatureCollection"
+        kinds = {feature["properties"]["kind"] for feature in collection["features"]}
+        assert "ixp-facility" in kinds
+        for feature in collection["features"]:
+            lon, lat = feature["geometry"]["coordinates"]
+            assert -180.0 <= lon <= 180.0
+            assert -90.0 <= lat <= 90.0
+
+    def test_geojson_unknown_ixp_rejected(self, small_study, small_outcome):
+        exporter = GeoJSONExporter(small_study.dataset)
+        with pytest.raises(ReproError):
+            exporter.feature_collection(small_outcome, "ixp-unknown")
+
+
+class TestStudy:
+    def test_summary_keys(self, small_study):
+        summary = small_study.summary()
+        assert {"world", "studied_ixps", "coverage", "remote_share"} <= set(summary)
+
+    def test_studied_ixps_have_vantage_points(self, small_study):
+        for ixp_id in small_study.studied_ixp_ids:
+            assert any(not vp.is_dead for vp in small_study.vantage_plan[ixp_id])
+
+    def test_studied_ixps_respect_configured_count(self, small_study):
+        assert len(small_study.studied_ixp_ids) <= small_study.config.studied_ixp_count
+
+    def test_world_injection(self, tiny_world):
+        from repro.config import ExperimentConfig
+        from repro.study import RemotePeeringStudy
+        study = RemotePeeringStudy(ExperimentConfig.tiny(), world=tiny_world)
+        assert study.world is tiny_world
+
+    def test_outcome_is_cached(self, small_study):
+        assert small_study.outcome is small_study.outcome

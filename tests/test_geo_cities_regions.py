@@ -1,0 +1,88 @@
+"""Unit tests for the gazetteer and region helpers."""
+
+import pytest
+
+from repro.geo.cities import WORLD_CITIES, City, cities_in_region, city_by_name
+from repro.geo.coordinates import geodesic_distance_km
+from repro.geo.regions import RIRRegion, region_for_country, same_metro_area
+
+
+class TestGazetteer:
+    def test_city_names_are_unique(self):
+        names = [c.name.lower() for c in WORLD_CITIES]
+        assert len(names) == len(set(names))
+
+    def test_city_lookup_is_case_insensitive(self):
+        assert city_by_name("amsterdam") is city_by_name("Amsterdam")
+
+    def test_unknown_city_raises(self):
+        with pytest.raises(KeyError):
+            city_by_name("Atlantis")
+
+    def test_population_ranks_are_unique_and_positive(self):
+        ranks = [c.population_rank for c in WORLD_CITIES]
+        assert len(ranks) == len(set(ranks))
+        assert all(rank > 0 for rank in ranks)
+
+    def test_gazetteer_has_at_least_100_cities(self):
+        assert len(WORLD_CITIES) >= 100
+
+    def test_every_city_has_valid_country_code(self):
+        assert all(len(c.country) == 2 and c.country.isupper() for c in WORLD_CITIES)
+
+    def test_major_peering_cities_present(self):
+        for name in ("Amsterdam", "Frankfurt", "London", "New York", "Singapore"):
+            assert isinstance(city_by_name(name), City)
+
+    def test_cities_are_distinct_locations(self):
+        ams = city_by_name("Amsterdam").location
+        fra = city_by_name("Frankfurt").location
+        assert geodesic_distance_km(ams, fra) > 300.0
+
+
+class TestRegions:
+    @pytest.mark.parametrize(
+        "country, region",
+        [
+            ("NL", RIRRegion.RIPE),
+            ("DE", RIRRegion.RIPE),
+            ("US", RIRRegion.ARIN),
+            ("SG", RIRRegion.APNIC),
+            ("BR", RIRRegion.LACNIC),
+            ("ZA", RIRRegion.AFRINIC),
+        ],
+    )
+    def test_known_mappings(self, country, region):
+        assert region_for_country(country) is region
+
+    def test_lower_case_country_code(self):
+        assert region_for_country("us") is RIRRegion.ARIN
+
+    def test_unknown_country_defaults_to_ripe(self):
+        assert region_for_country("XX") is RIRRegion.RIPE
+
+    def test_cities_in_region_returns_only_matching(self):
+        cities = cities_in_region(RIRRegion.LACNIC)
+        assert cities
+        assert all(region_for_country(c.country) is RIRRegion.LACNIC for c in cities)
+
+    def test_every_region_has_cities(self):
+        for region in RIRRegion:
+            assert cities_in_region(region), f"no cities for {region}"
+
+
+class TestMetroArea:
+    def test_same_city_is_same_metro(self):
+        rotterdam = city_by_name("Rotterdam").location
+        hague = city_by_name("The Hague").location
+        assert same_metro_area(rotterdam, hague)
+
+    def test_different_cities_are_not_same_metro(self):
+        ams = city_by_name("Amsterdam").location
+        fra = city_by_name("Frankfurt").location
+        assert not same_metro_area(ams, fra)
+
+    def test_threshold_is_configurable(self):
+        ams = city_by_name("Amsterdam").location
+        fra = city_by_name("Frankfurt").location
+        assert same_metro_area(ams, fra, threshold_km=1_000.0)

@@ -1,0 +1,124 @@
+"""Unit tests for geographic coordinates and geodesic distances."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.geo.cities import city_by_name
+from repro.geo.coordinates import (
+    GeoPoint,
+    geodesic_distance_km,
+    haversine_distance_km,
+    midpoint,
+    offset_point,
+)
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        point = GeoPoint(52.37, 4.89)
+        assert point.latitude == pytest.approx(52.37)
+        assert point.longitude == pytest.approx(4.89)
+
+    def test_as_tuple(self):
+        assert GeoPoint(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    @pytest.mark.parametrize("lat", [-91.0, 91.0, 1000.0])
+    def test_invalid_latitude(self, lat):
+        with pytest.raises(ConfigurationError):
+            GeoPoint(lat, 0.0)
+
+    @pytest.mark.parametrize("lon", [-181.0, 181.0, 720.0])
+    def test_invalid_longitude(self, lon):
+        with pytest.raises(ConfigurationError):
+            GeoPoint(0.0, lon)
+
+    def test_distance_method_matches_function(self):
+        a, b = GeoPoint(0.0, 0.0), GeoPoint(0.0, 1.0)
+        assert a.distance_km(b) == pytest.approx(geodesic_distance_km(a, b))
+
+
+class TestDistances:
+    def test_zero_distance(self):
+        point = GeoPoint(10.0, 10.0)
+        assert geodesic_distance_km(point, point) == 0.0
+        assert haversine_distance_km(point, point) == 0.0
+
+    def test_equator_degree_is_about_111km(self):
+        a, b = GeoPoint(0.0, 0.0), GeoPoint(0.0, 1.0)
+        assert geodesic_distance_km(a, b) == pytest.approx(111.32, rel=0.01)
+
+    def test_amsterdam_rotterdam_is_about_57km(self):
+        # The paper's own example of a nearby-but-remote peer.
+        ams = city_by_name("Amsterdam").location
+        rot = city_by_name("Rotterdam").location
+        assert geodesic_distance_km(ams, rot) == pytest.approx(57.0, abs=8.0)
+
+    def test_london_bucharest_is_over_1300km(self):
+        # The paper's NL-IX example of facilities more than 1,300 km apart.
+        lon = city_by_name("London").location
+        buc = city_by_name("Bucharest").location
+        assert geodesic_distance_km(lon, buc) > 1_300.0
+
+    def test_symmetry(self):
+        a = city_by_name("Tokyo").location
+        b = city_by_name("Sydney").location
+        assert geodesic_distance_km(a, b) == pytest.approx(geodesic_distance_km(b, a), rel=1e-9)
+
+    def test_geodesic_close_to_haversine(self):
+        a = city_by_name("Paris").location
+        b = city_by_name("New York").location
+        geo = geodesic_distance_km(a, b)
+        hav = haversine_distance_km(a, b)
+        assert abs(geo - hav) / geo < 0.01
+
+    def test_antipodal_fallback_is_finite(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 179.999999)
+        distance = geodesic_distance_km(a, b)
+        assert math.isfinite(distance)
+        assert distance > 19_000.0
+
+    def test_triangle_inequality_on_cities(self):
+        a = city_by_name("Madrid").location
+        b = city_by_name("Vienna").location
+        c = city_by_name("Warsaw").location
+        assert geodesic_distance_km(a, c) <= (
+            geodesic_distance_km(a, b) + geodesic_distance_km(b, c) + 1e-6
+        )
+
+
+class TestOffsetAndMidpoint:
+    def test_offset_distance_roundtrip(self):
+        origin = city_by_name("Berlin").location
+        moved = offset_point(origin, 25.0, 90.0)
+        assert geodesic_distance_km(origin, moved) == pytest.approx(25.0, rel=0.02)
+
+    def test_offset_zero_distance(self):
+        origin = GeoPoint(10.0, 20.0)
+        moved = offset_point(origin, 0.0, 123.0)
+        assert geodesic_distance_km(origin, moved) < 0.001
+
+    def test_offset_negative_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            offset_point(GeoPoint(0.0, 0.0), -1.0, 0.0)
+
+    def test_offset_longitude_wraps(self):
+        origin = GeoPoint(0.0, 179.9)
+        moved = offset_point(origin, 100.0, 90.0)
+        assert -180.0 <= moved.longitude <= 180.0
+
+    def test_midpoint_between_equator_points(self):
+        a, b = GeoPoint(0.0, 0.0), GeoPoint(0.0, 10.0)
+        mid = midpoint(a, b)
+        assert mid.latitude == pytest.approx(0.0, abs=1e-6)
+        assert mid.longitude == pytest.approx(5.0, abs=1e-6)
+
+    def test_midpoint_is_roughly_equidistant(self):
+        a = city_by_name("Lisbon").location
+        b = city_by_name("Athens").location
+        mid = midpoint(a, b)
+        d1 = geodesic_distance_km(a, mid)
+        d2 = geodesic_distance_km(mid, b)
+        assert d1 == pytest.approx(d2, rel=0.02)

@@ -1,0 +1,146 @@
+"""Unit tests for the RTT <-> distance delay model."""
+
+import random
+
+import pytest
+
+from repro.constants import MAX_PROBE_SPEED_KM_S
+from repro.exceptions import ConfigurationError
+from repro.geo.delay_model import DelayModel, FeasibleRing
+
+
+class TestFeasibleRing:
+    def test_contains_inclusive_bounds(self):
+        ring = FeasibleRing(min_distance_km=10.0, max_distance_km=100.0)
+        assert ring.contains(10.0)
+        assert ring.contains(100.0)
+        assert ring.contains(50.0)
+        assert not ring.contains(9.99)
+        assert not ring.contains(100.01)
+
+    def test_width(self):
+        ring = FeasibleRing(min_distance_km=10.0, max_distance_km=25.0)
+        assert ring.width_km == pytest.approx(15.0)
+
+    def test_negative_distances_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FeasibleRing(min_distance_km=-1.0, max_distance_km=5.0)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FeasibleRing(min_distance_km=10.0, max_distance_km=5.0)
+
+
+class TestBounds:
+    def test_default_vmax_is_four_ninths_of_c(self):
+        model = DelayModel()
+        assert model.v_max_km_s == pytest.approx(MAX_PROBE_SPEED_KM_S)
+
+    def test_min_rtt_grows_with_distance(self):
+        model = DelayModel()
+        assert model.min_rtt_ms(100.0) < model.min_rtt_ms(1_000.0) < model.min_rtt_ms(5_000.0)
+
+    def test_max_rtt_grows_with_distance(self):
+        model = DelayModel()
+        assert model.max_rtt_ms(100.0) < model.max_rtt_ms(1_000.0) < model.max_rtt_ms(5_000.0)
+
+    def test_min_rtt_below_max_rtt(self):
+        model = DelayModel()
+        for distance in (10.0, 100.0, 500.0, 2_000.0, 8_000.0):
+            assert model.min_rtt_ms(distance) < model.max_rtt_ms(distance)
+
+    def test_100km_min_rtt_is_about_1_5ms(self):
+        # 100 km at 4/9 c round-trip is roughly 1.5 ms, matching the paper's
+        # "1 ms ~ one metro area" intuition.
+        model = DelayModel()
+        assert model.min_rtt_ms(100.0) == pytest.approx(1.5, abs=0.2)
+
+    def test_v_min_has_floor_for_short_distances(self):
+        model = DelayModel()
+        assert model.v_min_km_s(1.0) == model.v_min_floor_km_s
+        assert model.v_min_km_s(10_000.0) > model.v_min_floor_km_s
+
+    def test_negative_distance_rejected(self):
+        model = DelayModel()
+        with pytest.raises(ConfigurationError):
+            model.min_rtt_ms(-1.0)
+        with pytest.raises(ConfigurationError):
+            model.max_rtt_ms(-1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            DelayModel(v_max_km_s=0.0)
+        with pytest.raises(ConfigurationError):
+            DelayModel(v_min_floor_km_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            DelayModel(base_overhead_ms=-0.1)
+
+
+class TestSampling:
+    def test_sampled_rtt_within_physical_bounds(self):
+        model = DelayModel()
+        rng = random.Random(5)
+        for distance in (50.0, 300.0, 1_500.0, 6_000.0):
+            for _ in range(50):
+                rtt = model.sample_rtt_ms(distance, rng, jitter_ms=0.0)
+                assert rtt >= model.min_rtt_ms(distance)
+
+    def test_zero_distance_is_submillisecond_without_jitter(self):
+        model = DelayModel()
+        rng = random.Random(1)
+        for _ in range(100):
+            assert model.sample_rtt_ms(0.0, rng, jitter_ms=0.0) < 1.0
+
+    def test_path_stretch_increases_rtt(self):
+        model = DelayModel()
+        base = [model.sample_rtt_ms(500.0, random.Random(3), jitter_ms=0.0) for _ in range(30)]
+        stretched = [model.sample_rtt_ms(500.0, random.Random(3), jitter_ms=0.0, path_stretch=1.5)
+                     for _ in range(30)]
+        assert sum(stretched) > sum(base)
+
+    def test_invalid_sampling_arguments(self):
+        model = DelayModel()
+        rng = random.Random(0)
+        with pytest.raises(ConfigurationError):
+            model.sample_rtt_ms(-5.0, rng)
+        with pytest.raises(ConfigurationError):
+            model.sample_rtt_ms(5.0, rng, path_stretch=0.5)
+        with pytest.raises(ConfigurationError):
+            model.sample_rtt_ms(5.0, rng, jitter_ms=-1.0)
+
+
+class TestInversion:
+    def test_max_distance_scales_linearly(self):
+        model = DelayModel()
+        assert model.max_distance_km(2.0) == pytest.approx(2 * model.max_distance_km(1.0))
+
+    def test_max_distance_is_capped_at_half_earth(self):
+        model = DelayModel()
+        assert model.max_distance_km(10_000.0) == model.MAX_EARTH_DISTANCE_KM
+
+    def test_small_rtt_min_distance_is_zero(self):
+        model = DelayModel()
+        assert model.min_distance_km(0.5) == 0.0
+
+    def test_min_distance_below_max_distance(self):
+        model = DelayModel()
+        for rtt in (1.0, 3.0, 10.0, 40.0, 150.0):
+            assert model.min_distance_km(rtt) <= model.max_distance_km(rtt)
+
+    def test_ring_contains_true_distance_for_minimum_rtts(self):
+        # Step 2 always works on the *minimum* RTT over many rounds, which is
+        # what keeps the feasible ring sound in the presence of jitter.
+        model = DelayModel()
+        rng = random.Random(11)
+        for distance in (0.0, 30.0, 120.0, 400.0, 1_200.0, 5_000.0):
+            for _ in range(10):
+                rtt_min = min(model.sample_rtt_ms(distance, rng) for _ in range(24))
+                ring = model.feasible_ring(rtt_min)
+                assert ring.contains(distance), (distance, rtt_min, ring)
+
+    def test_negative_rtt_rejected(self):
+        model = DelayModel()
+        with pytest.raises(ConfigurationError):
+            model.max_distance_km(-1.0)
+        with pytest.raises(ConfigurationError):
+            model.min_distance_km(-0.1)

@@ -1,0 +1,100 @@
+"""Unit tests for the prefix2as mapping and MIDAR-like alias resolution."""
+
+import pytest
+
+from repro.alias.midar import AliasResolver
+from repro.datasources.prefix2as import Prefix2ASMap, Prefix2ASSource
+
+
+class TestPrefix2ASMap:
+    def test_exact_lookup(self):
+        mapping = Prefix2ASMap()
+        mapping.add("100.0.0.0/24", 65001)
+        assert mapping.lookup("100.0.0.17") == 65001
+
+    def test_longest_prefix_wins(self):
+        mapping = Prefix2ASMap()
+        mapping.add("100.0.0.0/16", 65001)
+        mapping.add("100.0.1.0/24", 65002)
+        assert mapping.lookup("100.0.1.5") == 65002
+        assert mapping.lookup("100.0.2.5") == 65001
+
+    def test_miss_returns_none(self):
+        mapping = Prefix2ASMap()
+        mapping.add("100.0.0.0/24", 65001)
+        assert mapping.lookup("203.0.113.1") is None
+
+    def test_len_counts_prefixes(self):
+        mapping = Prefix2ASMap()
+        mapping.add("100.0.0.0/24", 65001)
+        mapping.add("100.0.1.0/24", 65002)
+        assert len(mapping) == 2
+
+    def test_host_route_lookup(self):
+        mapping = Prefix2ASMap()
+        mapping.add("100.0.0.5/32", 65005)
+        assert mapping.lookup("100.0.0.5") == 65005
+        assert mapping.lookup("100.0.0.6") is None
+
+
+class TestPrefix2ASSource:
+    def test_snapshot_maps_routed_and_infrastructure_space(self, tiny_world):
+        mapping = Prefix2ASSource(tiny_world).snapshot()
+        # Routed prefixes resolve to their originating AS.
+        prefix, asn = next(iter(tiny_world.routed_prefixes.items()))
+        probe_ip = prefix.split("/")[0].rsplit(".", 1)[0] + ".1"
+        assert mapping.lookup(probe_ip) == asn
+        # Backbone interfaces resolve to the router owner.
+        router = next(iter(tiny_world.routers.values()))
+        backbone = [ip for ip in router.interface_ips if ip in tiny_world.interfaces
+                    and tiny_world.interfaces[ip].kind.value != "ixp-lan"]
+        if backbone:
+            assert mapping.lookup(backbone[0]) == router.asn
+
+    def test_snapshot_size(self, tiny_world):
+        mapping = Prefix2ASSource(tiny_world).snapshot()
+        expected = len(tiny_world.routed_prefixes) + len(tiny_world.infrastructure_prefixes)
+        assert len(mapping) == expected
+
+
+class TestAliasResolver:
+    def test_groups_interfaces_of_same_router(self, tiny_world):
+        resolver = AliasResolver(tiny_world, miss_rate=0.0)
+        router = max(tiny_world.routers.values(), key=lambda r: len(r.interface_ips))
+        result = resolver.resolve(set(router.interface_ips))
+        assert result.group_of(router.interface_ips[0]) == frozenset(router.interface_ips)
+
+    def test_does_not_merge_different_routers(self, tiny_world):
+        resolver = AliasResolver(tiny_world, miss_rate=0.0)
+        routers = list(tiny_world.routers.values())[:2]
+        ips = {routers[0].interface_ips[0], routers[1].interface_ips[0]}
+        result = resolver.resolve(ips)
+        assert not result.same_router(routers[0].interface_ips[0], routers[1].interface_ips[0])
+
+    def test_unknown_ips_become_singletons(self, tiny_world):
+        resolver = AliasResolver(tiny_world, miss_rate=0.0)
+        result = resolver.resolve({"203.0.113.1"})
+        assert result.group_of("203.0.113.1") == frozenset({"203.0.113.1"})
+
+    def test_full_miss_rate_yields_only_singletons(self, tiny_world):
+        resolver = AliasResolver(tiny_world, miss_rate=1.0)
+        router = max(tiny_world.routers.values(), key=lambda r: len(r.interface_ips))
+        result = resolver.resolve(set(router.interface_ips))
+        assert all(len(group) == 1 for group in result.groups)
+
+    def test_miss_rate_is_persistent_across_calls(self, tiny_world):
+        resolver = AliasResolver(tiny_world, miss_rate=0.3)
+        router = max(tiny_world.routers.values(), key=lambda r: len(r.interface_ips))
+        ips = set(router.interface_ips)
+        first = resolver.resolve(ips)
+        second = resolver.resolve(ips)
+        assert sorted(map(sorted, first.groups)) == sorted(map(sorted, second.groups))
+
+    def test_same_router_is_reflexive(self, tiny_world):
+        resolver = AliasResolver(tiny_world, miss_rate=0.0)
+        result = resolver.resolve(set())
+        assert result.same_router("1.2.3.4", "1.2.3.4")
+
+    def test_invalid_miss_rate_rejected(self, tiny_world):
+        with pytest.raises(ValueError):
+            AliasResolver(tiny_world, miss_rate=1.5)

@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ecdf import ECDF
+from repro.core.types import InferenceReport, InferenceStep, PeeringClassification
+from repro.datasources.prefix2as import Prefix2ASMap
+from repro.geo.coordinates import GeoPoint, geodesic_distance_km, offset_point
+from repro.geo.delay_model import DelayModel
+from repro.topology.addressing import AddressPlan
+from repro.topology.relationships import ASRelationshipGraph
+from repro.validation.dataset import ValidationDataset, ValidationEntry
+from repro.validation.metrics import evaluate_report
+
+latitudes = st.floats(min_value=-85.0, max_value=85.0, allow_nan=False)
+longitudes = st.floats(min_value=-180.0, max_value=180.0, allow_nan=False)
+points = st.builds(GeoPoint, latitude=latitudes, longitude=longitudes)
+
+
+class TestGeoProperties:
+    @given(a=points, b=points)
+    @settings(max_examples=80, deadline=None)
+    def test_distance_is_symmetric_and_nonnegative(self, a, b):
+        d_ab = geodesic_distance_km(a, b)
+        d_ba = geodesic_distance_km(b, a)
+        assert d_ab >= 0.0
+        assert abs(d_ab - d_ba) < 1e-6
+        assert d_ab <= 20_100.0  # never longer than half the Earth's circumference
+
+    @given(a=points)
+    @settings(max_examples=40, deadline=None)
+    def test_distance_to_self_is_zero(self, a):
+        assert geodesic_distance_km(a, a) == 0.0
+
+    @given(origin=points,
+           distance=st.floats(min_value=0.0, max_value=2_000.0, allow_nan=False),
+           bearing=st.floats(min_value=0.0, max_value=360.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_offset_point_distance_is_close(self, origin, distance, bearing):
+        moved = offset_point(origin, distance, bearing)
+        measured = geodesic_distance_km(origin, moved)
+        assert abs(measured - distance) <= max(2.0, distance * 0.02)
+
+
+class TestDelayModelProperties:
+    @given(distance=st.floats(min_value=0.0, max_value=15_000.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_rtt_bounds_are_ordered(self, distance):
+        model = DelayModel()
+        assert model.min_rtt_ms(distance) <= model.max_rtt_ms(distance) + 1e-9
+
+    @given(rtt=st.floats(min_value=0.0, max_value=400.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_feasible_ring_is_well_formed(self, rtt):
+        ring = DelayModel().feasible_ring(rtt)
+        assert 0.0 <= ring.min_distance_km <= ring.max_distance_km
+
+    @given(distance=st.floats(min_value=0.0, max_value=9_000.0, allow_nan=False),
+           seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_min_rtt_sample_inverts_into_containing_ring(self, distance, seed):
+        model = DelayModel()
+        rng = random.Random(seed)
+        rtt_min = min(model.sample_rtt_ms(distance, rng) for _ in range(24))
+        assert model.feasible_ring(rtt_min).contains(distance)
+
+
+class TestECDFProperties:
+    @given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                           min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_fraction_below_is_monotonic(self, values):
+        ecdf = ECDF.from_values(values)
+        thresholds = sorted({min(values), max(values), 0.0})
+        fractions = [ecdf.fraction_below(t) for t in thresholds]
+        assert fractions == sorted(fractions)
+        assert ecdf.fraction_below(max(values)) == 1.0
+
+    @given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                           min_size=1, max_size=200),
+           q=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_quantiles_lie_within_sample(self, values, q):
+        ecdf = ECDF.from_values(values)
+        assert min(values) <= ecdf.quantile(q) <= max(values)
+
+
+class TestAddressingProperties:
+    @given(sizes=st.lists(st.integers(min_value=2, max_value=400), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_peering_lans_never_overlap(self, sizes):
+        import ipaddress
+        plan = AddressPlan()
+        networks = [plan.allocate_peering_lan(f"ixp-{i}", expected_members=size)
+                    for i, size in enumerate(sizes)]
+        for i, a in enumerate(networks):
+            assert a.num_addresses - 2 >= sizes[i] * 2
+            for b in networks[i + 1:]:
+                assert not a.overlaps(b)
+        del ipaddress
+
+    @given(counts=st.dictionaries(st.integers(min_value=1, max_value=50),
+                                  st.integers(min_value=1, max_value=20),
+                                  min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_infrastructure_ips_map_back_to_their_as(self, counts):
+        plan = AddressPlan()
+        mapping = Prefix2ASMap()
+        allocated: dict[str, int] = {}
+        for asn, count in counts.items():
+            for _ in range(count):
+                allocated[plan.allocate_infrastructure_ip(asn)] = asn
+        for prefix_asn, block in plan.infrastructure_blocks().items():
+            mapping.add(str(block), prefix_asn)
+        for ip, asn in allocated.items():
+            assert mapping.lookup(ip) == asn
+
+
+class TestRelationshipProperties:
+    @given(edges=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=40), st.integers(min_value=41, max_value=80)),
+        min_size=1, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_cones_are_consistent(self, edges):
+        graph = ASRelationshipGraph()
+        for provider, customer in edges:
+            graph.add_customer_provider(customer=customer, provider=provider)
+        graph.validate_acyclic()
+        for asn in graph.asns:
+            cone = graph.customer_cone(asn)
+            assert asn in cone
+            # Every direct customer's cone is a subset of the provider's cone.
+            for customer in graph.customers_of(asn):
+                assert graph.customer_cone(customer) <= cone
+
+    @given(edges=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=30), st.integers(min_value=31, max_value=60)),
+        min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_cone_size_at_least_customers_plus_one(self, edges):
+        graph = ASRelationshipGraph()
+        for provider, customer in edges:
+            graph.add_customer_provider(customer=customer, provider=provider)
+        for asn in graph.asns:
+            assert graph.customer_cone_size(asn) >= len(graph.customers_of(asn)) + (
+                0 if asn in graph.customers_of(asn) else 1)
+
+
+_classifications = st.sampled_from([PeeringClassification.LOCAL, PeeringClassification.REMOTE,
+                                    None])
+
+
+class TestMetricProperties:
+    @given(data=st.lists(st.tuples(st.booleans(), _classifications), min_size=1, max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_metrics_are_bounded_and_consistent(self, data):
+        report = InferenceReport()
+        validation = ValidationDataset()
+        for index, (truth_remote, inferred) in enumerate(data):
+            ip = f"185.1.{index // 250}.{index % 250 + 1}"
+            validation.add(ValidationEntry(ixp_id="ixp-a", interface_ip=ip, asn=index + 1,
+                                           is_remote=truth_remote))
+            report.ensure("ixp-a", ip, index + 1)
+            if inferred is not None:
+                report.classify("ixp-a", ip, index + 1, inferred, InferenceStep.RTT_COLOCATION)
+        metrics = evaluate_report(report, validation)
+        for value in metrics.as_row().values():
+            assert 0.0 <= value <= 1.0
+        assert metrics.inferred_and_validated == (
+            metrics.true_remote + metrics.true_local + metrics.false_remote + metrics.false_local)
+        # Accuracy + error mass must cover every inferred-and-validated item.
+        errors = metrics.false_remote + metrics.false_local
+        if metrics.inferred_and_validated:
+            assert metrics.accuracy == (metrics.inferred_and_validated - errors) / \
+                metrics.inferred_and_validated

@@ -1,0 +1,124 @@
+"""Unit tests for IPv4 address allocation."""
+
+import ipaddress
+
+import pytest
+
+from repro.exceptions import AddressingError
+from repro.topology.addressing import AddressPlan, LanAllocator, PrefixPool
+
+
+class TestPrefixPool:
+    def test_allocations_do_not_overlap(self):
+        pool = PrefixPool("10.0.0.0/16")
+        networks = [pool.allocate(24) for _ in range(10)]
+        for i, a in enumerate(networks):
+            for b in networks[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_allocations_stay_inside_supernet(self):
+        pool = PrefixPool("10.0.0.0/16")
+        supernet = ipaddress.ip_network("10.0.0.0/16")
+        for _ in range(20):
+            assert pool.allocate(26).subnet_of(supernet)
+
+    def test_mixed_sizes_align_correctly(self):
+        pool = PrefixPool("10.0.0.0/16")
+        first = pool.allocate(26)
+        second = pool.allocate(24)
+        assert not first.overlaps(second)
+        assert int(second.network_address) % second.num_addresses == 0
+
+    def test_exhaustion_raises(self):
+        pool = PrefixPool("10.0.0.0/30")
+        pool.allocate(30)
+        with pytest.raises(AddressingError):
+            pool.allocate(30)
+
+    def test_too_large_prefix_rejected(self):
+        pool = PrefixPool("10.0.0.0/24")
+        with pytest.raises(AddressingError):
+            pool.allocate(16)
+
+    def test_remaining_addresses_decrease(self):
+        pool = PrefixPool("10.0.0.0/20")
+        before = pool.remaining_addresses
+        pool.allocate(24)
+        assert pool.remaining_addresses == before - 256
+
+
+class TestLanAllocator:
+    def test_allocates_host_addresses_in_order(self):
+        allocator = LanAllocator(ipaddress.ip_network("192.0.2.0/29"))
+        hosts = [allocator.allocate_host() for _ in range(3)]
+        assert hosts == ["192.0.2.1", "192.0.2.2", "192.0.2.3"]
+
+    def test_capacity(self):
+        allocator = LanAllocator(ipaddress.ip_network("192.0.2.0/29"))
+        assert allocator.capacity == 6
+
+    def test_exhaustion_raises(self):
+        allocator = LanAllocator(ipaddress.ip_network("192.0.2.0/30"))
+        allocator.allocate_host()
+        allocator.allocate_host()
+        with pytest.raises(AddressingError):
+            allocator.allocate_host()
+
+
+class TestAddressPlan:
+    def test_peering_lan_sized_for_members(self):
+        plan = AddressPlan()
+        lan = plan.allocate_peering_lan("ixp-a", expected_members=300)
+        assert lan.num_addresses - 2 >= 300 * 2
+
+    def test_duplicate_peering_lan_rejected(self):
+        plan = AddressPlan()
+        plan.allocate_peering_lan("ixp-a", expected_members=10)
+        with pytest.raises(AddressingError):
+            plan.allocate_peering_lan("ixp-a", expected_members=10)
+
+    def test_member_interface_inside_lan(self):
+        plan = AddressPlan()
+        lan = plan.allocate_peering_lan("ixp-a", expected_members=10)
+        ip = plan.allocate_member_interface("ixp-a")
+        assert ipaddress.ip_address(ip) in lan
+
+    def test_member_interface_requires_lan(self):
+        plan = AddressPlan()
+        with pytest.raises(AddressingError):
+            plan.allocate_member_interface("ixp-missing")
+
+    def test_infrastructure_blocks_are_per_as(self):
+        plan = AddressPlan()
+        ip_a = plan.allocate_infrastructure_ip(65001)
+        ip_b = plan.allocate_infrastructure_ip(65002)
+        blocks = plan.infrastructure_blocks()
+        assert ipaddress.ip_address(ip_a) in blocks[65001]
+        assert ipaddress.ip_address(ip_b) in blocks[65002]
+        assert not blocks[65001].overlaps(blocks[65002])
+
+    def test_duplicate_infrastructure_block_rejected(self):
+        plan = AddressPlan()
+        plan.allocate_infrastructure_block(65001)
+        with pytest.raises(AddressingError):
+            plan.allocate_infrastructure_block(65001)
+
+    def test_routed_prefixes_are_distinct_and_disjoint_from_others(self):
+        plan = AddressPlan()
+        lan = plan.allocate_peering_lan("ixp-a", expected_members=10)
+        infra = plan.allocate_infrastructure_block(65001)
+        routed = [plan.allocate_routed_prefix(65001) for _ in range(5)]
+        for prefix in routed:
+            assert not prefix.overlaps(lan)
+            assert not prefix.overlaps(infra)
+        for i, a in enumerate(routed):
+            for b in routed[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_pools_are_disjoint_supernets(self):
+        ixp = ipaddress.ip_network(AddressPlan.IXP_SUPERNET)
+        infra = ipaddress.ip_network(AddressPlan.INFRASTRUCTURE_SUPERNET)
+        routed = ipaddress.ip_network(AddressPlan.ROUTED_SUPERNET)
+        assert not ixp.overlaps(infra)
+        assert not ixp.overlaps(routed)
+        assert not infra.overlaps(routed)

@@ -1,0 +1,159 @@
+"""Unit tests for the topology entity dataclasses."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.geo.coordinates import GeoPoint
+from repro.topology.entities import (
+    AutonomousSystem,
+    ConnectionKind,
+    Facility,
+    Interface,
+    InterfaceKind,
+    IXP,
+    IXPMembership,
+    PrivateLink,
+    Router,
+    TrafficLevel,
+)
+
+
+class TestConnectionKind:
+    def test_local_is_not_remote(self):
+        assert not ConnectionKind.LOCAL.is_remote
+
+    @pytest.mark.parametrize(
+        "kind",
+        [ConnectionKind.REMOTE_RESELLER, ConnectionKind.REMOTE_LONG_CABLE,
+         ConnectionKind.REMOTE_FEDERATION],
+    )
+    def test_remote_kinds(self, kind):
+        assert kind.is_remote
+
+
+class TestTrafficLevel:
+    def test_ordinals_are_monotonic(self):
+        ordinals = [level.ordinal for level in TrafficLevel]
+        assert ordinals == sorted(ordinals)
+        assert len(set(ordinals)) == len(ordinals)
+
+    def test_smallest_bucket_is_first(self):
+        assert TrafficLevel.MBPS_100.ordinal == 0
+
+
+class TestAutonomousSystem:
+    def test_valid(self):
+        system = AutonomousSystem(asn=65000, name="Test", country="NL",
+                                  headquarters_city="Amsterdam")
+        assert system.tier == 3
+
+    def test_rejects_bad_asn(self):
+        with pytest.raises(TopologyError):
+            AutonomousSystem(asn=0, name="x", country="NL", headquarters_city="Amsterdam")
+
+    def test_rejects_bad_tier(self):
+        with pytest.raises(TopologyError):
+            AutonomousSystem(asn=65000, name="x", country="NL",
+                             headquarters_city="Amsterdam", tier=4)
+
+    def test_rejects_zero_prefixes(self):
+        with pytest.raises(TopologyError):
+            AutonomousSystem(asn=65000, name="x", country="NL",
+                             headquarters_city="Amsterdam", prefix_count=0)
+
+
+class TestRouterAndInterface:
+    def test_add_interface_is_idempotent(self):
+        router = Router(router_id="r1", asn=65000, facility_id="fac-1")
+        router.add_interface("10.0.0.1")
+        router.add_interface("10.0.0.1")
+        assert router.interface_ips == ["10.0.0.1"]
+
+    def test_ixp_interface_requires_ixp(self):
+        with pytest.raises(TopologyError):
+            Interface(ip="185.1.0.1", asn=65000, router_id="r1", kind=InterfaceKind.IXP_LAN)
+
+    def test_backbone_interface_does_not_require_ixp(self):
+        interface = Interface(ip="5.0.0.1", asn=65000, router_id="r1",
+                              kind=InterfaceKind.BACKBONE)
+        assert interface.ixp_id is None
+
+
+class TestIXP:
+    def test_rejects_non_physical_min_capacity(self):
+        with pytest.raises(TopologyError):
+            IXP(ixp_id="x", name="X", city="Amsterdam", country="NL",
+                peering_lan="185.1.0.0/24", min_physical_capacity_mbps=100)
+
+    def test_valid_ixp(self):
+        ixp = IXP(ixp_id="x", name="X", city="Amsterdam", country="NL",
+                  peering_lan="185.1.0.0/24")
+        assert ixp.allows_resellers
+        assert ixp.federation_id is None
+
+
+class TestIXPMembership:
+    def _membership(self, **overrides):
+        defaults = dict(
+            ixp_id="ixp-1", asn=65000, interface_ip="185.1.0.1", router_id="r1",
+            member_facility_id="fac-1", connection=ConnectionKind.LOCAL,
+            port_capacity_mbps=1_000,
+        )
+        defaults.update(overrides)
+        return IXPMembership(**defaults)
+
+    def test_local_membership_is_not_remote(self):
+        assert not self._membership().is_remote
+
+    def test_reseller_membership_requires_reseller_id(self):
+        with pytest.raises(TopologyError):
+            self._membership(connection=ConnectionKind.REMOTE_RESELLER)
+
+    def test_reseller_membership_with_reseller(self):
+        membership = self._membership(connection=ConnectionKind.REMOTE_RESELLER,
+                                      reseller_id="rsl-1", port_capacity_mbps=100)
+        assert membership.is_remote
+
+    def test_unknown_capacity_rejected(self):
+        with pytest.raises(TopologyError):
+            self._membership(port_capacity_mbps=1234)
+
+    def test_active_in_month(self):
+        membership = self._membership(joined_month=3, departed_month=8)
+        assert not membership.active_in_month(2)
+        assert membership.active_in_month(3)
+        assert membership.active_in_month(7)
+        assert not membership.active_in_month(8)
+
+    def test_active_without_departure(self):
+        membership = self._membership(joined_month=0)
+        assert membership.active_in_month(100)
+
+
+class TestPrivateLink:
+    def _link(self):
+        return PrivateLink(facility_id="fac-1", asn_a=65001, asn_b=65002,
+                           interface_a="5.0.0.1", interface_b="5.0.4.1",
+                           router_a="r1", router_b="r2")
+
+    def test_involves(self):
+        link = self._link()
+        assert link.involves(65001)
+        assert link.involves(65002)
+        assert not link.involves(65003)
+
+    def test_other_end(self):
+        link = self._link()
+        assert link.other_end(65001) == 65002
+        assert link.other_end(65002) == 65001
+
+    def test_other_end_rejects_non_member(self):
+        with pytest.raises(TopologyError):
+            self._link().other_end(65003)
+
+
+class TestFacility:
+    def test_facility_holds_location(self):
+        facility = Facility(facility_id="fac-1", name="DC", city="Amsterdam",
+                            country="NL", location=GeoPoint(52.3, 4.9))
+        assert facility.location.latitude == pytest.approx(52.3)

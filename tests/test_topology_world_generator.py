@@ -1,0 +1,182 @@
+"""Tests of the World container and the synthetic world generator.
+
+These assert the structural invariants the rest of the library depends on and
+the calibration targets of DESIGN.md §5 (remote share, port capacity mix,
+wide-area prevalence).
+"""
+
+import ipaddress
+
+import pytest
+
+from repro.config import GeneratorConfig
+from repro.constants import CAPACITY_GE
+from repro.exceptions import TopologyError, UnknownEntityError
+from repro.topology.entities import ConnectionKind
+from repro.topology.generator import WorldGenerator
+from repro.topology.world import World
+
+
+class TestWorldLookups:
+    def test_summary_counts_match_containers(self, tiny_world):
+        summary = tiny_world.summary()
+        assert summary["ases"] == len(tiny_world.ases)
+        assert summary["memberships"] == len(tiny_world.memberships)
+
+    def test_unknown_entities_raise(self, tiny_world):
+        with pytest.raises(UnknownEntityError):
+            tiny_world.facility("fac-nope")
+        with pytest.raises(UnknownEntityError):
+            tiny_world.autonomous_system(1)
+        with pytest.raises(UnknownEntityError):
+            tiny_world.ixp("ixp-nope")
+        with pytest.raises(UnknownEntityError):
+            tiny_world.interface("203.0.113.1")
+
+    def test_membership_lookup_by_interface(self, tiny_world):
+        membership = tiny_world.memberships[0]
+        assert tiny_world.membership_for_interface(membership.interface_ip) is membership
+
+    def test_members_of_unknown_ixp_raises(self, tiny_world):
+        with pytest.raises(UnknownEntityError):
+            tiny_world.members_of("ixp-999")
+
+    def test_largest_ixps_ordering(self, tiny_world):
+        largest = tiny_world.largest_ixps(3)
+        sizes = [len(tiny_world.members_of(ixp.ixp_id)) for ixp in largest]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_active_membership_filtering(self, tiny_world):
+        all_members = tiny_world.memberships
+        active = tiny_world.active_memberships()
+        departed = [m for m in all_members if m.departed_month is not None]
+        assert len(active) == len(all_members) - len(departed)
+
+    def test_validate_passes_on_generated_world(self, tiny_world):
+        tiny_world.validate()
+
+    def test_validate_detects_corruption(self, tiny_world):
+        # Corrupt a copy of one membership: point it at a facility that does
+        # not match its router's location.
+        world = WorldGenerator(GeneratorConfig.tiny(seed=77)).generate()
+        membership = world.memberships[0]
+        other_facility = next(
+            f for f in world.facilities
+            if f != world.router(membership.router_id).facility_id
+        )
+        membership.member_facility_id = other_facility
+        with pytest.raises(TopologyError):
+            world.validate()
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_same_world(self):
+        config = GeneratorConfig.tiny(seed=123)
+        world_a = WorldGenerator(config).generate()
+        world_b = WorldGenerator(config).generate()
+        assert world_a.summary() == world_b.summary()
+        assert sorted(world_a.interfaces) == sorted(world_b.interfaces)
+        assert [m.interface_ip for m in world_a.memberships] == [
+            m.interface_ip for m in world_b.memberships
+        ]
+
+    def test_different_seed_different_world(self, tiny_world, tiny_world_alt):
+        assert sorted(tiny_world.interfaces) != sorted(tiny_world_alt.interfaces)
+
+
+class TestGeneratorStructure:
+    def test_entity_counts_match_config(self, tiny_world):
+        config = GeneratorConfig.tiny(seed=7)
+        assert len(tiny_world.ixps) == config.n_ixps
+        assert len(tiny_world.resellers) == config.n_resellers
+        # ASes include the reseller carrier networks.
+        assert len(tiny_world.ases) == config.n_ases + config.n_resellers
+
+    def test_every_as_has_a_router(self, tiny_world):
+        for asn in tiny_world.ases:
+            assert tiny_world.routers_of_as(asn), f"AS{asn} has no router"
+
+    def test_every_as_originates_prefixes(self, tiny_world):
+        originated = set(tiny_world.routed_prefixes.values())
+        assert originated == set(tiny_world.ases)
+
+    def test_membership_interfaces_inside_peering_lan(self, tiny_world):
+        for membership in tiny_world.memberships:
+            lan = ipaddress.ip_network(tiny_world.ixp(membership.ixp_id).peering_lan)
+            assert ipaddress.ip_address(membership.interface_ip) in lan
+
+    def test_local_members_are_colocated(self, tiny_world):
+        for membership in tiny_world.memberships:
+            ixp = tiny_world.ixp(membership.ixp_id)
+            if membership.connection is ConnectionKind.LOCAL:
+                assert membership.member_facility_id in ixp.facility_ids
+
+    def test_fractional_ports_only_via_resellers(self, tiny_world):
+        for membership in tiny_world.memberships:
+            ixp = tiny_world.ixp(membership.ixp_id)
+            if membership.port_capacity_mbps < ixp.min_physical_capacity_mbps:
+                assert membership.connection is ConnectionKind.REMOTE_RESELLER
+
+    def test_reseller_connections_reference_existing_resellers(self, tiny_world):
+        for membership in tiny_world.memberships:
+            if membership.connection is ConnectionKind.REMOTE_RESELLER:
+                assert membership.reseller_id in tiny_world.resellers
+
+    def test_private_links_are_facility_consistent(self, tiny_world):
+        for link in tiny_world.private_links:
+            assert tiny_world.router(link.router_a).facility_id == link.facility_id
+            assert tiny_world.router(link.router_b).facility_id == link.facility_id
+
+    def test_transit_relationships_have_colocated_cross_connects(self, tiny_world):
+        # Every customer/provider pair of a member AS should appear on at
+        # least one private link (the facility cross-connect).
+        linked_pairs = {
+            frozenset((link.asn_a, link.asn_b)) for link in tiny_world.private_links
+        }
+        member_asns = {m.asn for m in tiny_world.memberships}
+        missing = 0
+        checked = 0
+        for asn in member_asns:
+            for provider in tiny_world.relationships.providers_of(asn):
+                checked += 1
+                if frozenset((asn, provider)) not in linked_pairs:
+                    missing += 1
+        assert checked > 0
+        assert missing == 0
+
+
+class TestGeneratorCalibration:
+    def test_global_remote_share_is_paper_shaped(self, tiny_world):
+        assert 0.15 <= tiny_world.remote_share() <= 0.45
+
+    def test_largest_two_ixps_have_more_remote_members(self, tiny_world):
+        top2 = tiny_world.largest_ixps(2)
+        for ixp in top2:
+            assert tiny_world.remote_share(ixp.ixp_id) >= 0.30
+
+    def test_some_remote_peers_on_fractional_ports(self, tiny_world):
+        remote = [m for m in tiny_world.active_memberships() if m.is_remote]
+        fractional = [m for m in remote if m.port_capacity_mbps < CAPACITY_GE]
+        assert 0.05 <= len(fractional) / len(remote) <= 0.55
+
+    def test_wide_area_ixps_exist(self, tiny_world):
+        wide = [
+            ixp_id for ixp_id in tiny_world.ixps
+            if tiny_world.max_ixp_facility_distance_km(ixp_id) > 50.0
+        ]
+        assert wide
+
+    def test_join_months_spread_over_window(self, tiny_world):
+        months = {m.joined_month for m in tiny_world.memberships}
+        assert len(months) > 1
+
+    def test_departed_memberships_exist(self, tiny_world):
+        assert any(m.departed_month is not None for m in tiny_world.memberships)
+
+
+class TestEmptyWorld:
+    def test_empty_world_validates(self):
+        World(seed=0).validate()
+
+    def test_remote_share_of_empty_world_is_zero(self):
+        assert World(seed=0).remote_share() == 0.0

@@ -1,0 +1,154 @@
+"""Tests for the validation dataset builder, metrics and reports."""
+
+import pytest
+
+from repro.core.types import InferenceReport, InferenceStep, PeeringClassification
+from repro.exceptions import ValidationError
+from repro.validation.dataset import (
+    ValidationDataset,
+    ValidationDatasetBuilder,
+    ValidationEntry,
+    ValidationSubset,
+)
+from repro.validation.metrics import evaluate_report
+from repro.validation.report import per_ixp_metrics, per_step_metrics
+
+
+def _report_and_validation():
+    """Four validated interfaces with a mix of right and wrong inferences."""
+    report = InferenceReport()
+    validation = ValidationDataset()
+    cases = [
+        # ip, truth_remote, inferred (None = no inference), step
+        ("185.1.0.1", True, PeeringClassification.REMOTE, InferenceStep.PORT_CAPACITY),
+        ("185.1.0.2", False, PeeringClassification.LOCAL, InferenceStep.RTT_COLOCATION),
+        ("185.1.0.3", False, PeeringClassification.REMOTE, InferenceStep.RTT_COLOCATION),
+        ("185.1.0.4", True, None, None),
+    ]
+    for index, (ip, truth, inferred, step) in enumerate(cases):
+        validation.add(ValidationEntry(ixp_id="ixp-a", interface_ip=ip, asn=100 + index,
+                                       is_remote=truth))
+        report.ensure("ixp-a", ip, 100 + index)
+        if inferred is not None:
+            report.classify("ixp-a", ip, 100 + index, inferred, step)
+    validation.subsets["ixp-a"] = ValidationSubset.TEST
+    return report, validation
+
+
+class TestMetrics:
+    def test_confusion_counts(self):
+        report, validation = _report_and_validation()
+        metrics = evaluate_report(report, validation)
+        assert metrics.validated == 4
+        assert metrics.inferred_and_validated == 3
+        assert metrics.true_remote == 1
+        assert metrics.true_local == 1
+        assert metrics.false_remote == 1
+        assert metrics.false_local == 0
+
+    def test_derived_metrics(self):
+        report, validation = _report_and_validation()
+        metrics = evaluate_report(report, validation)
+        assert metrics.coverage == pytest.approx(0.75)
+        assert metrics.false_positive_rate == pytest.approx(0.5)
+        assert metrics.false_negative_rate == pytest.approx(0.0)
+        assert metrics.precision == pytest.approx(0.5)
+        assert metrics.accuracy == pytest.approx(2 / 3)
+
+    def test_step_filter(self):
+        report, validation = _report_and_validation()
+        metrics = evaluate_report(report, validation,
+                                  steps={InferenceStep.PORT_CAPACITY})
+        assert metrics.inferred_and_validated == 1
+        assert metrics.accuracy == pytest.approx(1.0)
+
+    def test_ixp_filter(self):
+        report, validation = _report_and_validation()
+        metrics = evaluate_report(report, validation, ixp_ids=["ixp-other"])
+        assert metrics.validated == 0
+        assert metrics.coverage == 0.0
+
+    def test_as_row_keys(self):
+        report, validation = _report_and_validation()
+        row = evaluate_report(report, validation).as_row()
+        assert set(row) == {"FPR", "FNR", "PRE", "ACC", "COV"}
+
+
+class TestValidationDatasetBuilder:
+    def test_subsets_follow_vantage_points(self, tiny_world):
+        builder = ValidationDatasetBuilder(tiny_world)
+        candidates = [ixp.ixp_id for ixp in tiny_world.ixps_by_member_count()]
+        with_vps = set(candidates[:2])
+        dataset = builder.build(candidates, with_vps, max_ixps=4)
+        assert set(dataset.test_ixps()) == with_vps
+        assert set(dataset.control_ixps()) == set(candidates[2:4])
+
+    def test_labels_match_ground_truth(self, tiny_world):
+        builder = ValidationDatasetBuilder(tiny_world)
+        candidates = [ixp.ixp_id for ixp in tiny_world.ixps_by_member_count()]
+        dataset = builder.build(candidates, set(candidates[:3]))
+        for (ixp_id, ip), entry in dataset.entries.items():
+            membership = tiny_world.membership_for_interface(ip)
+            assert membership.ixp_id == ixp_id
+            assert entry.is_remote == membership.is_remote
+
+    def test_coverage_is_partial(self, tiny_world):
+        builder = ValidationDatasetBuilder(tiny_world, coverage_range=(0.4, 0.6))
+        candidates = [ixp.ixp_id for ixp in tiny_world.ixps_by_member_count()]
+        dataset = builder.build(candidates, set(candidates))
+        for ixp_id in dataset.ixp_ids():
+            counts = dataset.counts(ixp_id)
+            assert counts["validated_peers"] <= counts["total_peers"]
+
+    def test_counts_are_consistent(self, tiny_world):
+        builder = ValidationDatasetBuilder(tiny_world)
+        candidates = [ixp.ixp_id for ixp in tiny_world.ixps_by_member_count()]
+        dataset = builder.build(candidates, set(candidates[:1]))
+        for ixp_id in dataset.ixp_ids():
+            counts = dataset.counts(ixp_id)
+            assert counts["validated_peers"] == counts["local"] + counts["remote"]
+
+    def test_invalid_inputs_rejected(self, tiny_world):
+        with pytest.raises(ValidationError):
+            ValidationDatasetBuilder(tiny_world, coverage_range=(0.0, 0.5))
+        builder = ValidationDatasetBuilder(tiny_world)
+        with pytest.raises(ValidationError):
+            builder.build([], set())
+
+    def test_label_lookup(self, tiny_world):
+        builder = ValidationDatasetBuilder(tiny_world)
+        candidates = [ixp.ixp_id for ixp in tiny_world.ixps_by_member_count()]
+        dataset = builder.build(candidates, set(candidates))
+        (ixp_id, ip), entry = next(iter(dataset.entries.items()))
+        assert dataset.label_for(ixp_id, ip) == entry.is_remote
+        assert dataset.label_for(ixp_id, "203.0.113.1") is None
+
+
+class TestReports:
+    def test_per_step_metrics_keys(self, small_study, small_outcome):
+        rows = per_step_metrics(small_outcome, small_study.validation,
+                                ixp_ids=small_study.validation.test_ixps())
+        assert set(rows) == {
+            "rtt_baseline", "step1_port_capacity", "step2_3_rtt_colocation",
+            "step4_multi_ixp", "step5_private_links", "combined",
+        }
+
+    def test_step1_precision_is_high(self, small_study, small_outcome):
+        rows = per_step_metrics(small_outcome, small_study.validation)
+        step1 = rows["step1_port_capacity"]
+        if step1.inferred_and_validated:
+            assert step1.precision >= 0.9
+
+    def test_combined_coverage_exceeds_each_step(self, small_study, small_outcome):
+        rows = per_step_metrics(small_outcome, small_study.validation)
+        combined = rows["combined"].coverage
+        for key in ("step1_port_capacity", "step2_3_rtt_colocation",
+                    "step4_multi_ixp", "step5_private_links"):
+            assert rows[key].coverage <= combined + 1e-9
+
+    def test_per_ixp_metrics_cover_test_subset(self, small_study, small_outcome):
+        metrics = per_ixp_metrics(small_outcome, small_study.validation,
+                                  ixp_ids=small_study.validation.test_ixps())
+        assert set(metrics) == set(small_study.validation.test_ixps())
+        for value in metrics.values():
+            assert 0.0 <= value.accuracy <= 1.0
