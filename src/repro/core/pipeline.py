@@ -20,7 +20,6 @@ from repro.core.step3_colocation import ColocationRTTStep, FeasibleFacilityAnaly
 from repro.core.step4_multi_ixp import MultiIXPRouter, MultiIXPRouterStep
 from repro.core.step5_private_links import PrivateConnectivityStep
 from repro.core.types import InferenceReport
-from repro.datasources.prefix2as import Prefix2ASMap
 from repro.exceptions import InferenceError
 from repro.geo.delay_model import DelayModel
 from repro.traixroute.detector import CrossingDetector, IXPCrossing, PrivateAdjacency

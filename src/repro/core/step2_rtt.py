@@ -26,6 +26,12 @@ from repro.core.inputs import InferenceInputs
 from repro.measurement.results import PingSeries
 from repro.measurement.vantage import VantagePoint
 
+#: Reply TTLs the match/switch filters accept: the initial TTL itself (reply
+#: generated on the LAN) or one below it (reply that crossed the IXP switch).
+_ACCEPTED_REPLY_TTLS: frozenset[int] = frozenset(EXPECTED_INITIAL_TTLS) | frozenset(
+    ttl - 1 for ttl in EXPECTED_INITIAL_TTLS
+)
+
 
 @dataclass(frozen=True)
 class RTTObservation:
@@ -61,13 +67,34 @@ class RTTCampaignSummary:
     queried_per_vp: dict[str, int] = field(default_factory=dict)
     responsive_per_vp: dict[str, int] = field(default_factory=dict)
 
+    # Lazily built IXP -> observation-keys index, guarded by the size of
+    # ``observations``.  The index stores keys, not observation objects, so
+    # in-place replacement of an observation under an existing key stays
+    # visible without a rebuild.  Mutations that keep the size unchanged but
+    # alter the key set (delete one key, insert another) require
+    # :meth:`invalidate_caches`.
+    _keys_by_ixp: tuple[int, dict[str, list[tuple[str, str]]]] | None = field(
+        default=None, init=False, repr=False, compare=False)
+
+    def invalidate_caches(self) -> None:
+        """Drop the derived index; the next accessor call rebuilds it."""
+        self._keys_by_ixp = None
+
     def observation_for(self, ixp_id: str, interface_ip: str) -> RTTObservation | None:
         """The kept observation for one interface, if any."""
         return self.observations.get((ixp_id, interface_ip))
 
     def observations_for_ixp(self, ixp_id: str) -> list[RTTObservation]:
         """All kept observations at one IXP."""
-        return [obs for (ixp, _), obs in self.observations.items() if ixp == ixp_id]
+        cached = self._keys_by_ixp
+        if cached is None or cached[0] != len(self.observations):
+            index: dict[str, list[tuple[str, str]]] = {}
+            for key in self.observations:
+                index.setdefault(key[0], []).append(key)
+            self._keys_by_ixp = cached = (len(self.observations), index)
+        observations = self.observations
+        # Tolerate keys deleted since the index was built instead of raising.
+        return [observations[key] for key in cached[1].get(ixp_id, ()) if key in observations]
 
     def response_rate(self, vp_id: str) -> float:
         """Fraction of queried interfaces that answered a vantage point."""
@@ -139,8 +166,7 @@ class RTTMeasurementStep:
 
     def _filtered_rtts(self, series: PingSeries) -> list[float]:
         """Apply the TTL match/switch filters and return surviving RTTs."""
-        expected = {ttl - 1 for ttl in EXPECTED_INITIAL_TTLS} | set(EXPECTED_INITIAL_TTLS)
-        return [s.rtt_ms for s in series.samples if s.reply_ttl in expected]
+        return [s.rtt_ms for s in series.samples if s.reply_ttl in _ACCEPTED_REPLY_TTLS]
 
     def _process_series(self, series: PingSeries, vp: VantagePoint) -> RTTObservation | None:
         rtts = self._filtered_rtts(series)

@@ -13,12 +13,12 @@ re-implements exactly that merge and produces:
 
 from __future__ import annotations
 
-import ipaddress
 from dataclasses import dataclass, field
 
 from repro.datasources.records import SourceName, SourceSnapshot
 from repro.exceptions import DataSourceError
 from repro.geo.coordinates import GeoPoint
+from repro.netindex import LPMIndex
 from repro.topology.entities import TrafficLevel
 
 #: Preference order used to resolve conflicting records (highest first).
@@ -92,7 +92,15 @@ class MergeStatistics:
 
 @dataclass
 class ObservedDataset:
-    """The merged view of the world that inference and analysis consume."""
+    """The merged view of the world that inference and analysis consume.
+
+    The hot lookups (:meth:`ixp_for_ip`, :meth:`interfaces_of_ixp`,
+    :meth:`members_of_ixp`) are served from lazily built indexes over the
+    public dicts.  The indexes rebuild automatically whenever the backing
+    dict *grows or shrinks*; code that replaces values in place without
+    changing the dict's size must call :meth:`invalidate_caches` afterwards
+    (as :class:`DatasetMerger` does after a merge).
+    """
 
     ixp_prefixes: dict[str, str] = field(default_factory=dict)
     interface_ixp: dict[str, str] = field(default_factory=dict)
@@ -107,24 +115,55 @@ class ObservedDataset:
     customer_cone_sizes: dict[int, int] = field(default_factory=dict)
     countries: dict[int, str] = field(default_factory=dict)
 
+    # Lazily built lookup indexes, each guarded by the size of its source
+    # dict: (size, payload).  Never part of equality or repr.
+    _lan_index: tuple[int, LPMIndex] | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _ixp_views: tuple[int, dict[str, dict[str, int]]] | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _ixp_members: dict[str, set[int]] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+
     # ------------------------------------------------------------------ #
     # Interface / prefix lookups
     # ------------------------------------------------------------------ #
+    def invalidate_caches(self) -> None:
+        """Drop every derived index; the next lookup rebuilds them."""
+        self._lan_index = None
+        self._ixp_views = None
+        self._ixp_members = {}
+
     def ixp_ids(self) -> list[str]:
         """All IXPs present in the merged dataset."""
         return sorted(set(self.ixp_prefixes.values()) | set(self.ixp_facilities))
 
+    def _interfaces_by_ixp(self) -> dict[str, dict[str, int]]:
+        """IXP -> (IP -> member ASN) view, rebuilt when interfaces change."""
+        cached = self._ixp_views
+        if cached is None or cached[0] != len(self.interface_ixp):
+            by_ixp: dict[str, dict[str, int]] = {}
+            for ip, owner in self.interface_ixp.items():
+                asn = self.interface_asn.get(ip)
+                # Skip interfaces with no ASN record rather than letting one
+                # inconsistent entry poison the view for every IXP.
+                if asn is not None:
+                    by_ixp.setdefault(owner, {})[ip] = asn
+            self._ixp_views = cached = (len(self.interface_ixp), by_ixp)
+            self._ixp_members = {}
+        return cached[1]
+
     def interfaces_of_ixp(self, ixp_id: str) -> dict[str, int]:
         """IP -> member ASN for one IXP."""
-        return {
-            ip: self.interface_asn[ip]
-            for ip, owner in self.interface_ixp.items()
-            if owner == ixp_id
-        }
+        return dict(self._interfaces_by_ixp().get(ixp_id, {}))
 
     def members_of_ixp(self, ixp_id: str) -> set[int]:
         """The member ASNs observed at one IXP."""
-        return set(self.interfaces_of_ixp(ixp_id).values())
+        # Refresh the per-IXP views first: a rebuild clears the member memo.
+        by_ixp = self._interfaces_by_ixp()
+        members = self._ixp_members.get(ixp_id)
+        if members is None:
+            members = self._ixp_members[ixp_id] = set(by_ixp.get(ixp_id, {}).values())
+        return set(members)
 
     def asn_of_interface(self, ip: str) -> int | None:
         """Member ASN owning an IXP interface, if known."""
@@ -135,12 +174,18 @@ class ObservedDataset:
         return self.interface_ixp.get(ip)
 
     def ixp_for_ip(self, ip: str) -> str | None:
-        """Longest-prefix match of an arbitrary IP against the known LANs."""
-        address = ipaddress.ip_address(ip)
-        for prefix, ixp_id in self.ixp_prefixes.items():
-            if address in ipaddress.ip_network(prefix):
-                return ixp_id
-        return None
+        """Longest-prefix match of an arbitrary IP against the known LANs.
+
+        The most specific LAN prefix containing the address wins — the seed
+        implementation returned the *first* match in insertion order, which
+        misclassified addresses whenever a more-specific LAN nested inside a
+        broader registered prefix.
+        """
+        cached = self._lan_index
+        if cached is None or cached[0] != len(self.ixp_prefixes):
+            cached = (len(self.ixp_prefixes), LPMIndex(self.ixp_prefixes))
+            self._lan_index = cached
+        return cached[1].lookup(ip)
 
     # ------------------------------------------------------------------ #
     # Colocation lookups
@@ -195,6 +240,9 @@ class DatasetMerger:
         self._merge_colocation(dataset, ordered)
         self._merge_capacities(dataset, ordered)
         self._merge_attributes(dataset, ordered)
+        # The merge mutates the backing dicts directly (including in-place
+        # value replacements); start consumers from a clean index state.
+        dataset.invalidate_caches()
         return dataset, statistics
 
     # ------------------------------------------------------------------ #

@@ -3,7 +3,9 @@
 Step 5 of the paper performs IP-to-AS mapping of traceroute hops using
 CAIDA's Routeviews prefix-to-AS dataset.  The simulated equivalent exports
 the routed prefixes originated by each AS plus the per-AS infrastructure
-blocks, and offers a fast longest-prefix-match lookup.
+blocks, and offers a fast longest-prefix-match lookup backed by the shared
+:class:`~repro.netindex.LPMIndex` (a single binary search per lookup, with
+memoisation of repeated probes).
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ from __future__ import annotations
 import ipaddress
 from dataclasses import dataclass, field
 
+from repro.netindex import LPMIndex
 from repro.topology.world import World
 
 
@@ -18,30 +21,30 @@ from repro.topology.world import World
 class Prefix2ASMap:
     """Longest-prefix-match IP-to-AS mapping.
 
-    The map indexes prefixes by length so that a lookup is a handful of
-    dictionary probes instead of a scan over every prefix.
+    Prefixes are accumulated with :meth:`add`; the backing
+    :class:`~repro.netindex.LPMIndex` is (re)built lazily on the first
+    lookup after a mutation, so bulk loading stays cheap and the steady-state
+    lookup path is a memoised binary search.
     """
 
-    _by_length: dict[int, dict[int, int]] = field(default_factory=dict)
+    _prefixes: dict[str, int] = field(default_factory=dict)
+    _index: LPMIndex | None = field(default=None, init=False, repr=False, compare=False)
 
     def add(self, prefix: str, asn: int) -> None:
-        """Register one prefix -> ASN mapping."""
+        """Register one prefix -> ASN mapping (latest registration wins)."""
         network = ipaddress.ip_network(prefix)
-        bucket = self._by_length.setdefault(network.prefixlen, {})
-        bucket[int(network.network_address)] = asn
+        self._prefixes[str(network)] = asn
+        self._index = None
 
     def lookup(self, ip: str) -> int | None:
         """Return the ASN originating the longest matching prefix, if any."""
-        address = int(ipaddress.ip_address(ip))
-        for length in sorted(self._by_length, reverse=True):
-            key = (address >> (32 - length)) << (32 - length) if length < 32 else address
-            asn = self._by_length[length].get(key)
-            if asn is not None:
-                return asn
-        return None
+        index = self._index
+        if index is None:
+            index = self._index = LPMIndex(self._prefixes)
+        return index.lookup(ip)
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._by_length.values())
+        return len(self._prefixes)
 
 
 class Prefix2ASSource:

@@ -45,26 +45,60 @@ class PingSeries:
 
 @dataclass
 class PingCampaignResult:
-    """Everything a ping campaign produced."""
+    """Everything a ping campaign produced.
+
+    The per-VP and per-IXP accessors are served from lazily built dict
+    indexes over the (append-only) series lists; an index rebuilds
+    automatically whenever its backing list changed length since it was
+    built.
+    """
 
     series: list[PingSeries] = field(default_factory=list)
     route_server_series: list[PingSeries] = field(default_factory=list)
     vantage_points: dict[str, "VantagePoint"] = field(default_factory=dict)  # noqa: F821
 
+    # (size-when-built, index) pairs; never part of equality or repr.
+    _series_index: tuple[int, dict[str, list[PingSeries]], dict[str, list[PingSeries]]] | None = (
+        field(default=None, init=False, repr=False, compare=False))
+    _rs_index: tuple[int, dict[str, PingSeries]] | None = field(
+        default=None, init=False, repr=False, compare=False)
+
+    def invalidate_caches(self) -> None:
+        """Drop the derived indexes (needed after same-length list edits)."""
+        self._series_index = None
+        self._rs_index = None
+
+    def _indexed_series(self) -> tuple[dict[str, list[PingSeries]], dict[str, list[PingSeries]]]:
+        """(IXP -> series, VP -> series) indexes over the member series."""
+        cached = self._series_index
+        if cached is None or cached[0] != len(self.series):
+            by_ixp: dict[str, list[PingSeries]] = {}
+            by_vp: dict[str, list[PingSeries]] = {}
+            for series in self.series:
+                by_ixp.setdefault(series.ixp_id, []).append(series)
+                by_vp.setdefault(series.vp_id, []).append(series)
+            self._series_index = cached = (len(self.series), by_ixp, by_vp)
+        return cached[1], cached[2]
+
     def series_for_ixp(self, ixp_id: str) -> list[PingSeries]:
         """Member-interface series collected at one IXP."""
-        return [s for s in self.series if s.ixp_id == ixp_id]
+        return list(self._indexed_series()[0].get(ixp_id, ()))
 
     def series_for_vp(self, vp_id: str) -> list[PingSeries]:
         """Member-interface series collected from one vantage point."""
-        return [s for s in self.series if s.vp_id == vp_id]
+        return list(self._indexed_series()[1].get(vp_id, ()))
 
     def route_server_series_for_vp(self, vp_id: str) -> PingSeries | None:
         """The route-server control series of one vantage point, if any."""
-        for series in self.route_server_series:
-            if series.vp_id == vp_id:
-                return series
-        return None
+        cached = self._rs_index
+        if cached is None or cached[0] != len(self.route_server_series):
+            by_vp: dict[str, PingSeries] = {}
+            for series in self.route_server_series:
+                # Keep the first series per VP: the seed linear scan
+                # returned the earliest match.
+                by_vp.setdefault(series.vp_id, series)
+            self._rs_index = cached = (len(self.route_server_series), by_vp)
+        return cached[1].get(vp_id)
 
     def queried_interfaces(self, ixp_id: str | None = None) -> set[str]:
         """Interfaces that were queried (optionally for one IXP)."""

@@ -21,7 +21,6 @@ from dataclasses import dataclass, field
 
 from repro.config import CampaignConfig
 from repro.exceptions import MeasurementError
-from repro.geo.coordinates import geodesic_distance_km
 from repro.geo.delay_model import DelayModel
 from repro.topology.world import World
 

@@ -1,0 +1,19 @@
+"""Shared longest-prefix-match index subsystem.
+
+Every IP classification the reproduction performs — IP-to-AS mapping
+(:mod:`repro.datasources.prefix2as`), IXP peering-LAN membership
+(:meth:`repro.datasources.merge.ObservedDataset.ixp_for_ip`) and the per-hop
+classification inside :class:`repro.traixroute.detector.CrossingDetector` —
+funnels through the :class:`~repro.netindex.lpm.LPMIndex` defined here.
+
+The index guarantees *true* longest-prefix-match semantics (the most specific
+registered prefix containing an address wins, regardless of insertion order)
+and answers lookups with a single binary search over pre-parsed integer
+ranges instead of re-parsing every prefix on every probe.  See
+:mod:`repro.netindex.lpm` for the data-structure details and the invariants
+consumers rely on.
+"""
+
+from repro.netindex.lpm import LPMIndex
+
+__all__ = ["LPMIndex"]

@@ -1,0 +1,155 @@
+"""Binary-search longest-prefix-match index over pre-parsed integer ranges.
+
+The seed implementation of IP classification re-parsed every registered
+prefix with :func:`ipaddress.ip_network` on *every* lookup and returned the
+first match in insertion order — which is wrong whenever a more-specific
+prefix nests inside a broader one, and linear in the number of prefixes.
+:class:`LPMIndex` replaces that with a classic flattened interval table:
+
+* at construction every prefix is parsed **once** into an integer
+  ``[network, broadcast]`` range;
+* nested ranges are flattened into *disjoint* intervals where each interval
+  is owned by the most specific (longest) covering prefix, so a lookup is a
+  single :func:`bisect.bisect_right` — ``O(log n)`` with no parsing;
+* full-length (host-route) prefixes live in a plain dict consulted before
+  the binary search — the exact-match fast path;
+* every answer (including misses) is memoised per IP string, so repeated
+  hops across a traceroute corpus resolve in ``O(1)`` without even parsing
+  the address again.
+
+Invariants consumers rely on:
+
+1. **True LPM semantics** — the most specific registered prefix containing
+   an address wins, independent of insertion order.
+2. **Last registration wins** — registering the same prefix twice keeps the
+   latest value (matching dict-overwrite semantics of the seed sources).
+3. **Immutability** — an index never changes after construction; consumers
+   that mutate their prefix sets rebuild the index (see the lazy rebuild
+   pattern in :class:`repro.datasources.prefix2as.Prefix2ASMap` and
+   :meth:`repro.datasources.merge.ObservedDataset.ixp_for_ip`).
+
+Both IPv4 and IPv6 prefixes are supported; each version gets its own table.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from bisect import bisect_right
+from typing import Generic, Iterable, Mapping, TypeVar
+
+V = TypeVar("V")
+
+#: Sentinel distinguishing "memoised miss" from "not memoised yet".
+_UNCACHED = object()
+
+
+class LPMIndex(Generic[V]):
+    """Immutable longest-prefix-match index from CIDR prefixes to values."""
+
+    __slots__ = ("_tables", "_hosts", "_memo", "_size")
+
+    def __init__(self, entries: Iterable[tuple[str, V]] | Mapping[str, V] = ()) -> None:
+        if isinstance(entries, Mapping):
+            entries = entries.items()
+        # version -> (network_int, prefixlen) -> value; last registration wins.
+        by_version: dict[int, dict[tuple[int, int], V]] = {}
+        hosts: dict[tuple[int, int], V] = {}
+        for prefix, value in entries:
+            if value is None:
+                raise ValueError("LPMIndex values may not be None (None means miss)")
+            network = ipaddress.ip_network(prefix)
+            key = (int(network.network_address), network.prefixlen)
+            if network.prefixlen == network.max_prefixlen:
+                # Host routes live only in the exact-match dict; it already
+                # answers them as the longest possible match.
+                hosts[(network.version, key[0])] = value
+            by_version.setdefault(network.version, {})[key] = value
+
+        self._hosts = hosts
+        self._size = sum(len(bucket) for bucket in by_version.values())
+        self._tables: dict[int, tuple[list[int], list[int], list[V]]] = {}
+        for version, bucket in by_version.items():
+            max_prefixlen = 32 if version == 4 else 128
+            intervals = sorted(
+                (
+                    (start, start + (1 << (max_prefixlen - length)) - 1, value)
+                    for (start, length), value in bucket.items()
+                    if length < max_prefixlen
+                ),
+                key=lambda interval: (interval[0], -interval[1]),
+            )
+            table = self._flatten(intervals)
+            if table[0]:
+                self._tables[version] = table
+        self._memo: dict[str, V | None] = {}
+
+    @staticmethod
+    def _flatten(
+        intervals: list[tuple[int, int, V]],
+    ) -> tuple[list[int], list[int], list[V]]:
+        """Flatten properly-nested ranges into disjoint most-specific intervals.
+
+        ``intervals`` must be sorted by ``(start, end descending)`` so that at
+        an equal ``start`` the shorter (outer) prefix is opened before the
+        nested one; CIDR ranges never partially overlap.
+        """
+        starts: list[int] = []
+        ends: list[int] = []
+        values: list[V] = []
+
+        def emit(lo: int, hi: int, value: V) -> None:
+            if lo > hi:
+                return
+            if starts and values[-1] == value and ends[-1] == lo - 1:
+                ends[-1] = hi
+            else:
+                starts.append(lo)
+                ends.append(hi)
+                values.append(value)
+
+        stack: list[tuple[int, V]] = []  # (end, value) of currently open prefixes
+        cursor = 0
+        for start, end, value in intervals:
+            while stack and stack[-1][0] < start:
+                top_end, top_value = stack.pop()
+                emit(cursor, top_end, top_value)
+                cursor = top_end + 1
+            if stack:
+                emit(cursor, start - 1, stack[-1][1])
+            stack.append((end, value))
+            cursor = start
+        while stack:
+            top_end, top_value = stack.pop()
+            emit(cursor, top_end, top_value)
+            cursor = top_end + 1
+        return starts, ends, values
+
+    # ------------------------------------------------------------------ #
+    def lookup(self, ip: str) -> V | None:
+        """Value of the longest registered prefix containing ``ip``, if any."""
+        cached = self._memo.get(ip, _UNCACHED)
+        if cached is not _UNCACHED:
+            return cached
+        address = ipaddress.ip_address(ip)
+        numeric = int(address)
+        value: V | None = self._hosts.get((address.version, numeric))
+        if value is None:
+            table = self._tables.get(address.version)
+            if table is not None:
+                starts, ends, table_values = table
+                slot = bisect_right(starts, numeric) - 1
+                if slot >= 0 and ends[slot] >= numeric:
+                    value = table_values[slot]
+        self._memo[ip] = value
+        return value
+
+    def clear_cache(self) -> None:
+        """Drop the lookup memo (the interval tables are untouched)."""
+        self._memo.clear()
+
+    def __len__(self) -> int:
+        """Number of distinct registered prefixes."""
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0

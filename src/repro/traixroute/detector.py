@@ -69,23 +69,38 @@ class CrossingDetector:
         self._members: dict[str, set[int]] = {
             ixp_id: dataset.members_of_ixp(ixp_id) for ixp_id in dataset.ixp_ids()
         }
+        # Per-corpus classification memos: a detector sees the same hop IPs
+        # over and over across a corpus, so both classifications (including
+        # misses) are answered in O(1) after the first encounter.  The memos
+        # live for the detector's lifetime; build a fresh detector if the
+        # dataset or prefix2as map changes underneath.
+        self._ixp_memo: dict[str, str | None] = {}
+        self._asn_memo: dict[str, int | None] = {}
 
     # ------------------------------------------------------------------ #
     # IP classification helpers
     # ------------------------------------------------------------------ #
     def ixp_of_ip(self, ip: str) -> str | None:
         """The IXP whose peering LAN contains ``ip``, if any."""
-        known = self.dataset.ixp_of_interface(ip)
-        if known is not None:
-            return known
-        return self.dataset.ixp_for_ip(ip)
+        memo = self._ixp_memo
+        if ip in memo:
+            return memo[ip]
+        result = self.dataset.ixp_of_interface(ip)
+        if result is None:
+            result = self.dataset.ixp_for_ip(ip)
+        memo[ip] = result
+        return result
 
     def asn_of_ip(self, ip: str) -> int | None:
         """Best-effort IP-to-AS mapping (IXP interface list, then prefix2as)."""
-        asn = self.dataset.asn_of_interface(ip)
-        if asn is not None:
-            return asn
-        return self.prefix2as.lookup(ip)
+        memo = self._asn_memo
+        if ip in memo:
+            return memo[ip]
+        result = self.dataset.asn_of_interface(ip)
+        if result is None:
+            result = self.prefix2as.lookup(ip)
+        memo[ip] = result
+        return result
 
     # ------------------------------------------------------------------ #
     # Detection

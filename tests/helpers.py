@@ -16,7 +16,7 @@ from repro.core.inputs import InferenceInputs
 from repro.datasources.merge import ObservedDataset
 from repro.datasources.prefix2as import Prefix2ASMap
 from repro.geo.cities import city_by_name
-from repro.geo.coordinates import GeoPoint, offset_point
+from repro.geo.coordinates import offset_point
 from repro.measurement.results import PingCampaignResult, PingSample, PingSeries, TracerouteCorpus
 from repro.measurement.vantage import VantagePoint, VantagePointKind
 from repro.topology.entities import (

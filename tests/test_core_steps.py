@@ -5,7 +5,7 @@ import pytest
 from repro.config import InferenceConfig
 from repro.core.baseline import RTTBaseline
 from repro.core.step1_port_capacity import PortCapacityStep
-from repro.core.step2_rtt import RTTMeasurementStep
+from repro.core.step2_rtt import RTTCampaignSummary, RTTMeasurementStep, RTTObservation
 from repro.core.step3_colocation import ColocationRTTStep
 from repro.core.step4_multi_ixp import MultiIXPRouterKind, MultiIXPRouterStep
 from repro.core.step5_private_links import PrivateConnectivityStep
@@ -359,3 +359,40 @@ class TestStep5PrivateLinks:
         step = PrivateConnectivityStep(scenario.inputs(), config)
         classified = step.run([ixp.ixp_id], report, adjacencies, [], {})
         assert classified == 0
+
+
+class TestRTTSummaryIndex:
+    def _obs(self, ixp_id, ip, rtt):
+        return RTTObservation(ixp_id=ixp_id, interface_ip=ip, rtt_min_ms=rtt,
+                              rtt_lower_ms=rtt, vp_id="vp-1")
+
+    def test_observations_for_ixp_groups_by_ixp(self):
+        summary = RTTCampaignSummary()
+        summary.observations[("ixp-a", "185.1.0.1")] = self._obs("ixp-a", "185.1.0.1", 1.0)
+        summary.observations[("ixp-b", "185.2.0.1")] = self._obs("ixp-b", "185.2.0.1", 2.0)
+        assert [o.interface_ip for o in summary.observations_for_ixp("ixp-a")] == ["185.1.0.1"]
+        assert summary.observations_for_ixp("ixp-z") == []
+
+    def test_index_refreshes_on_new_keys_and_sees_replacements(self):
+        summary = RTTCampaignSummary()
+        key = ("ixp-a", "185.1.0.1")
+        summary.observations[key] = self._obs("ixp-a", "185.1.0.1", 5.0)
+        assert summary.observations_for_ixp("ixp-a")[0].rtt_min_ms == 5.0
+        # In-place replacement under an existing key stays visible because
+        # the index stores keys, not observation objects.
+        summary.observations[key] = self._obs("ixp-a", "185.1.0.1", 1.0)
+        assert summary.observations_for_ixp("ixp-a")[0].rtt_min_ms == 1.0
+        # New keys trigger a rebuild via the size guard.
+        summary.observations[("ixp-a", "185.1.0.2")] = self._obs("ixp-a", "185.1.0.2", 3.0)
+        assert len(summary.observations_for_ixp("ixp-a")) == 2
+
+    def test_delete_and_insert_at_same_size_never_crashes(self):
+        summary = RTTCampaignSummary()
+        summary.observations[("ixp-a", "185.1.0.1")] = self._obs("ixp-a", "185.1.0.1", 1.0)
+        assert len(summary.observations_for_ixp("ixp-a")) == 1  # build the index
+        del summary.observations[("ixp-a", "185.1.0.1")]
+        summary.observations[("ixp-a", "185.1.0.2")] = self._obs("ixp-a", "185.1.0.2", 2.0)
+        # Same size: the stale index must degrade gracefully, not KeyError.
+        assert summary.observations_for_ixp("ixp-a") == []
+        summary.invalidate_caches()
+        assert [o.interface_ip for o in summary.observations_for_ixp("ixp-a")] == ["185.1.0.2"]

@@ -74,6 +74,35 @@ class TestObservedDatasetQueries:
         assert dataset.ixp_for_ip("185.1.0.77") == "ixp-a"
         assert dataset.ixp_for_ip("10.0.0.1") is None
 
+    def test_ixp_for_ip_prefers_nested_prefix_over_earlier_broad_one(self):
+        # Regression test for the seed first-match bug: the broad prefix is
+        # registered FIRST, so a first-match scan in insertion order answered
+        # "ixp-broad" for addresses inside the nested, more-specific LAN.
+        dataset = ObservedDataset(
+            ixp_prefixes={"185.0.0.0/8": "ixp-broad", "185.1.0.0/24": "ixp-lan"})
+        assert dataset.ixp_for_ip("185.1.0.77") == "ixp-lan"
+        assert dataset.ixp_for_ip("185.2.0.77") == "ixp-broad"
+
+    def test_ixp_for_ip_index_refreshes_when_prefixes_are_added(self):
+        dataset = ObservedDataset(ixp_prefixes={"185.0.0.0/8": "ixp-broad"})
+        assert dataset.ixp_for_ip("185.1.0.77") == "ixp-broad"
+        dataset.ixp_prefixes["185.1.0.0/24"] = "ixp-lan"
+        assert dataset.ixp_for_ip("185.1.0.77") == "ixp-lan"
+
+    def test_invalidate_caches_picks_up_in_place_value_replacement(self):
+        dataset = ObservedDataset(ixp_prefixes={"185.1.0.0/24": "ixp-a"})
+        assert dataset.ixp_for_ip("185.1.0.77") == "ixp-a"
+        dataset.ixp_prefixes["185.1.0.0/24"] = "ixp-b"  # same size: needs explicit invalidation
+        dataset.invalidate_caches()
+        assert dataset.ixp_for_ip("185.1.0.77") == "ixp-b"
+
+    def test_merge_produces_lpm_semantics_for_nested_lans(self):
+        he = _snapshot(SourceName.HE, prefixes=[("185.0.0.0/8", "ixp-broad"),
+                                                ("185.1.0.0/24", "ixp-lan")])
+        dataset, _ = DatasetMerger([he]).merge()
+        assert dataset.ixp_for_ip("185.1.0.5") == "ixp-lan"
+        assert dataset.ixp_for_ip("185.9.0.5") == "ixp-broad"
+
     def test_members_and_interfaces_of_ixp(self):
         dataset = ObservedDataset(
             interface_ixp={"185.1.0.1": "ixp-a", "185.1.0.2": "ixp-a", "185.2.0.1": "ixp-b"},
@@ -81,6 +110,35 @@ class TestObservedDatasetQueries:
         )
         assert dataset.members_of_ixp("ixp-a") == {1, 2}
         assert dataset.interfaces_of_ixp("ixp-b") == {"185.2.0.1": 3}
+
+    def test_cached_ixp_views_refresh_when_interfaces_are_added(self):
+        dataset = ObservedDataset(
+            interface_ixp={"185.1.0.1": "ixp-a"},
+            interface_asn={"185.1.0.1": 1},
+        )
+        assert dataset.members_of_ixp("ixp-a") == {1}
+        dataset.interface_ixp["185.1.0.2"] = "ixp-a"
+        dataset.interface_asn["185.1.0.2"] = 2
+        assert dataset.members_of_ixp("ixp-a") == {1, 2}
+        assert dataset.interfaces_of_ixp("ixp-a") == {"185.1.0.1": 1, "185.1.0.2": 2}
+
+    def test_cached_ixp_views_return_copies(self):
+        dataset = ObservedDataset(
+            interface_ixp={"185.1.0.1": "ixp-a"},
+            interface_asn={"185.1.0.1": 1},
+        )
+        dataset.interfaces_of_ixp("ixp-a")["185.1.0.9"] = 9
+        dataset.members_of_ixp("ixp-a").add(9)
+        assert dataset.interfaces_of_ixp("ixp-a") == {"185.1.0.1": 1}
+        assert dataset.members_of_ixp("ixp-a") == {1}
+
+    def test_interface_without_asn_record_does_not_poison_other_ixps(self):
+        dataset = ObservedDataset(
+            interface_ixp={"185.1.0.1": "ixp-a", "185.2.0.1": "ixp-b"},
+            interface_asn={"185.1.0.1": 1},  # ixp-b's interface has no ASN record
+        )
+        assert dataset.interfaces_of_ixp("ixp-a") == {"185.1.0.1": 1}
+        assert dataset.members_of_ixp("ixp-b") == set()
 
     def test_common_facilities(self):
         dataset = ObservedDataset(

@@ -1,6 +1,5 @@
 """End-to-end integration tests on the tiny study (full chain, small scale)."""
 
-import pytest
 
 from repro.core.types import PeeringClassification
 from repro.validation.metrics import evaluate_report

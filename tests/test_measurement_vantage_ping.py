@@ -5,6 +5,7 @@ import pytest
 from repro.config import CampaignConfig
 from repro.exceptions import MeasurementError
 from repro.measurement.ping import PingCampaign
+from repro.measurement.results import PingCampaignResult, PingSeries
 from repro.measurement.vantage import VantagePointKind, VantagePointPlanner
 
 
@@ -128,3 +129,31 @@ class TestPingCampaign:
             (remote if series.target_ip in remote_ips else local).append(series.min_rtt())
         assert local and remote
         assert sorted(remote)[len(remote) // 2] > sorted(local)[len(local) // 2]
+
+
+class TestPingResultIndexes:
+    def _result(self):
+        result = PingCampaignResult()
+        result.series.append(PingSeries(vp_id="vp-1", ixp_id="ixp-a", target_ip="185.1.0.1"))
+        result.series.append(PingSeries(vp_id="vp-2", ixp_id="ixp-a", target_ip="185.1.0.2"))
+        result.route_server_series.append(
+            PingSeries(vp_id="vp-1", ixp_id="ixp-a", target_ip="185.1.0.250"))
+        return result
+
+    def test_indexed_accessors_match_linear_semantics(self):
+        result = self._result()
+        assert [s.target_ip for s in result.series_for_vp("vp-1")] == ["185.1.0.1"]
+        assert len(result.series_for_ixp("ixp-a")) == 2
+        assert result.series_for_ixp("ixp-z") == []
+        assert result.route_server_series_for_vp("vp-1").target_ip == "185.1.0.250"
+        assert result.route_server_series_for_vp("vp-9") is None
+
+    def test_indexes_refresh_after_appends(self):
+        result = self._result()
+        assert len(result.series_for_vp("vp-2")) == 1  # build the indexes
+        result.series.append(PingSeries(vp_id="vp-2", ixp_id="ixp-b", target_ip="185.2.0.1"))
+        result.route_server_series.append(
+            PingSeries(vp_id="vp-2", ixp_id="ixp-b", target_ip="185.2.0.250"))
+        assert len(result.series_for_vp("vp-2")) == 2
+        assert [s.target_ip for s in result.series_for_ixp("ixp-b")] == ["185.2.0.1"]
+        assert result.route_server_series_for_vp("vp-2").target_ip == "185.2.0.250"

@@ -36,6 +36,33 @@ class TestPrefix2ASMap:
         assert mapping.lookup("100.0.0.5") == 65005
         assert mapping.lookup("100.0.0.6") is None
 
+    def test_nested_prefix_wins_regardless_of_insertion_order(self):
+        broad_first = Prefix2ASMap()
+        broad_first.add("100.0.0.0/8", 65001)
+        broad_first.add("100.0.1.0/24", 65002)
+        assert broad_first.lookup("100.0.1.5") == 65002
+        assert broad_first.lookup("100.9.0.5") == 65001
+
+        nested_first = Prefix2ASMap()
+        nested_first.add("100.0.1.0/24", 65002)
+        nested_first.add("100.0.0.0/8", 65001)
+        assert nested_first.lookup("100.0.1.5") == 65002
+        assert nested_first.lookup("100.9.0.5") == 65001
+
+    def test_add_after_lookup_rebuilds_the_index(self):
+        mapping = Prefix2ASMap()
+        mapping.add("100.0.0.0/8", 65001)
+        assert mapping.lookup("100.0.1.5") == 65001
+        mapping.add("100.0.1.0/24", 65002)
+        assert mapping.lookup("100.0.1.5") == 65002
+
+    def test_re_adding_a_prefix_overwrites_the_asn(self):
+        mapping = Prefix2ASMap()
+        mapping.add("100.0.0.0/24", 65001)
+        mapping.add("100.0.0.0/24", 65009)
+        assert mapping.lookup("100.0.0.1") == 65009
+        assert len(mapping) == 1
+
 
 class TestPrefix2ASSource:
     def test_snapshot_maps_routed_and_infrastructure_space(self, tiny_world):

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.exceptions import RoutingError
-from repro.geo.delay_model import DelayModel
 from repro.routing.bgp import ASGraph, RealizationKind, RouteSelector
 from repro.routing.forwarding import ForwardingSimulator
 from repro.topology.entities import InterfaceKind

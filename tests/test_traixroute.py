@@ -101,6 +101,46 @@ class TestIPClassification:
         assert detector.asn_of_ip("5.0.8.3") == 65003
         assert detector.asn_of_ip("203.0.113.7") is None
 
+    def test_classifications_are_memoised_per_detector(self, detector):
+        assert detector.ixp_of_ip("185.1.0.200") == "ixp-a"
+        assert detector.asn_of_ip("203.0.113.7") is None
+        assert detector._ixp_memo["185.1.0.200"] == "ixp-a"
+        assert detector._asn_memo["203.0.113.7"] is None
+        # Repeated probes return the memoised answers.
+        assert detector.ixp_of_ip("185.1.0.200") == "ixp-a"
+        assert detector.asn_of_ip("203.0.113.7") is None
+
+
+class TestNestedLANPrefixes:
+    """Regression tests for the seed first-match-vs-longest-prefix bug."""
+
+    @pytest.fixture()
+    def nested_detector(self):
+        # The broad (bogus) prefix is registered BEFORE the real peering LAN
+        # nested inside it; a first-match scan would classify every LAN hop
+        # as belonging to "ixp-broad".
+        dataset = ObservedDataset(
+            ixp_prefixes={"185.0.0.0/8": "ixp-broad", "185.1.0.0/24": "ixp-a"},
+            interface_ixp={"185.1.0.2": "ixp-a", "185.1.0.1": "ixp-a"},
+            interface_asn={"185.1.0.2": 65002, "185.1.0.1": 65001},
+        )
+        prefix2as = Prefix2ASMap()
+        prefix2as.add("5.0.0.0/22", 65001)
+        prefix2as.add("5.0.4.0/22", 65002)
+        return CrossingDetector(dataset, prefix2as)
+
+    def test_lan_hop_resolves_to_most_specific_owner(self, nested_detector):
+        assert nested_detector.ixp_of_ip("185.1.0.200") == "ixp-a"
+        assert nested_detector.ixp_of_ip("185.9.9.9") == "ixp-broad"
+
+    def test_crossing_attributed_to_nested_lan_owner(self, nested_detector):
+        # The middle hop is an unknown LAN address (prefix match only), so
+        # the triplet rule must attribute the crossing via true LPM.
+        path = _path([("5.0.0.1", 65001), ("185.1.0.2", 65002), ("5.0.4.1", 65002)])
+        crossings = nested_detector.detect(path)
+        assert len(crossings) == 1
+        assert crossings[0].ixp_id == "ixp-a"
+
 
 class TestOnGeneratedCorpus:
     def test_detector_finds_crossings_in_simulated_corpus(self, small_study):
