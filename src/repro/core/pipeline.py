@@ -22,6 +22,7 @@ from repro.core.step5_private_links import PrivateConnectivityStep
 from repro.core.types import InferenceReport
 from repro.exceptions import InferenceError
 from repro.geo.delay_model import DelayModel
+from repro.geo.distindex import GeoDistanceIndex
 from repro.traixroute.detector import CrossingDetector, IXPCrossing, PrivateAdjacency
 
 
@@ -44,7 +45,14 @@ class PipelineOutcome:
 
 
 class RemotePeeringPipeline:
-    """Runs the paper's methodology end to end on observable inputs."""
+    """Runs the paper's methodology end to end on observable inputs.
+
+    The geometry of Steps 3 and 4 is served by one shared
+    :class:`GeoDistanceIndex`.  By default the pipeline uses the index owned
+    by its inputs bundle, so rerunning the pipeline under different
+    configurations (scenario sweeps, ablations) reuses every memoised
+    distance from earlier runs.
+    """
 
     def __init__(
         self,
@@ -52,10 +60,14 @@ class RemotePeeringPipeline:
         config: InferenceConfig | None = None,
         *,
         delay_model: DelayModel | None = None,
+        geo_index: GeoDistanceIndex | None = None,
     ) -> None:
         self.inputs = inputs
         self.config = config or InferenceConfig()
         self.delay_model = delay_model or DelayModel()
+        if geo_index is not None and geo_index.dataset is not inputs.dataset:
+            raise InferenceError("geo_index must be built over the same dataset")
+        self.geo_index = geo_index if geo_index is not None else inputs.geo_index
 
     def run(self, ixp_ids: list[str]) -> PipelineOutcome:
         """Run every enabled step for the given IXPs."""
@@ -76,7 +88,8 @@ class RemotePeeringPipeline:
         # Step 3: colocation-informed RTT interpretation.
         feasible: dict[tuple[str, str], FeasibleFacilityAnalysis] = {}
         if self.config.enable_step3_colocation_rtt:
-            step3 = ColocationRTTStep(self.inputs, self.config, self.delay_model)
+            step3 = ColocationRTTStep(self.inputs, self.config, self.delay_model,
+                                      geo_index=self.geo_index)
             feasible = step3.run(ixp_ids, report, rtt_summary)
 
         # Traceroute-derived observables shared by Steps 4 and 5.
@@ -87,7 +100,7 @@ class RemotePeeringPipeline:
         # Step 4: multi-IXP routers.
         multi_ixp_routers: list[MultiIXPRouter] = []
         if self.config.enable_step4_multi_ixp:
-            step4 = MultiIXPRouterStep(self.inputs, self.config)
+            step4 = MultiIXPRouterStep(self.inputs, self.config, geo_index=self.geo_index)
             multi_ixp_routers = step4.run(ixp_ids, report, crossings)
 
         # Step 5: private-connectivity localisation.

@@ -143,9 +143,22 @@ class RTTMeasurementStep:
             )
             key = (series.ixp_id, series.target_ip)
             existing = summary.observations.get(key)
-            if existing is None or observation.rtt_min_ms < existing.rtt_min_ms:
+            if existing is None or self._prefer(observation, existing):
                 summary.observations[key] = observation
         return summary
+
+    @staticmethod
+    def _prefer(candidate: RTTObservation, incumbent: RTTObservation) -> bool:
+        """Deterministic keep-the-best rule for one (IXP, interface) key.
+
+        The smallest ``rtt_min_ms`` wins; on a tie the smaller
+        ``rtt_lower_ms`` (an integer-rounding LG carries a millisecond of
+        rounding slack worth keeping), then the lexicographically smallest
+        ``vp_id``, so the winner never depends on the order of
+        ``ping.series``.
+        """
+        return (candidate.rtt_min_ms, candidate.rtt_lower_ms, candidate.vp_id) < (
+            incumbent.rtt_min_ms, incumbent.rtt_lower_ms, incumbent.vp_id)
 
     # ------------------------------------------------------------------ #
     def _unusable_reason(self, vp: VantagePoint) -> str | None:

@@ -29,8 +29,9 @@ from repro.config import InferenceConfig
 from repro.core.inputs import InferenceInputs
 from repro.core.step2_rtt import RTTCampaignSummary, RTTObservation
 from repro.core.types import InferenceReport, InferenceStep, PeeringClassification
-from repro.geo.coordinates import geodesic_distance_km
+from repro.exceptions import InferenceError
 from repro.geo.delay_model import DelayModel, FeasibleRing
+from repro.geo.distindex import GeoDistanceIndex
 
 
 @dataclass
@@ -54,11 +55,25 @@ class FeasibleFacilityAnalysis:
 
 @dataclass
 class ColocationRTTStep:
-    """Combine minimum RTTs with colocation data (the heart of the method)."""
+    """Combine minimum RTTs with colocation data (the heart of the method).
+
+    All geometry goes through the shared :class:`GeoDistanceIndex`: each
+    (vantage point, facility) distance is computed once per index lifetime —
+    the observations of one VP share one sorted distance profile per
+    footprint — and the feasibility test is two :mod:`bisect` calls instead
+    of one Vincenty run per facility.
+    """
 
     inputs: InferenceInputs
     config: InferenceConfig = field(default_factory=InferenceConfig)
     delay_model: DelayModel = field(default_factory=DelayModel)
+    geo_index: GeoDistanceIndex | None = None
+
+    def __post_init__(self) -> None:
+        if self.geo_index is None:
+            self.geo_index = self.inputs.geo_index
+        elif self.geo_index.dataset is not self.inputs.dataset:
+            raise InferenceError("geo_index must be built over the same dataset")
 
     def run(
         self,
@@ -110,32 +125,24 @@ class ColocationRTTStep:
         observation: RTTObservation,
         vp_location,
     ) -> FeasibleFacilityAnalysis:
-        dataset = self.inputs.dataset
+        index = self.geo_index
         tolerance = self.config.feasible_facility_tolerance_km
         ring = FeasibleRing(
             min_distance_km=self.delay_model.min_distance_km(observation.rtt_lower_ms),
             max_distance_km=self.delay_model.max_distance_km(observation.rtt_min_ms),
         )
-
-        def feasible(facility_id: str) -> bool:
-            location = dataset.facility_location(facility_id)
-            if location is None:
-                return False
-            distance = geodesic_distance_km(vp_location, location)
-            return (ring.min_distance_km - tolerance) <= distance <= (
-                ring.max_distance_km + tolerance
-            )
-
-        ixp_facilities = dataset.facilities_of_ixp(ixp_id)
-        member_facilities = dataset.facilities_of_as(asn)
+        min_km = ring.min_distance_km - tolerance
+        max_km = ring.max_distance_km + tolerance
         analysis = FeasibleFacilityAnalysis(
             ixp_id=ixp_id,
             interface_ip=interface_ip,
             asn=asn,
             ring=ring,
-            feasible_ixp_facilities={f for f in ixp_facilities if feasible(f)},
-            feasible_member_facilities={f for f in member_facilities if feasible(f)},
-            member_has_facility_data=bool(member_facilities),
+            feasible_ixp_facilities=index.feasible_ixp_facilities(
+                vp_location, ixp_id, min_km, max_km),
+            feasible_member_facilities=index.feasible_as_facilities(
+                vp_location, asn, min_km, max_km),
+            member_has_facility_data=self.inputs.dataset.has_facility_data_for_as(asn),
         )
         analysis.classification = self._classify(analysis)
         return analysis

@@ -29,7 +29,8 @@ from dataclasses import dataclass, field
 from repro.config import InferenceConfig
 from repro.core.inputs import InferenceInputs
 from repro.core.types import InferenceReport, InferenceStep, PeeringClassification
-from repro.geo.coordinates import geodesic_distance_km
+from repro.exceptions import InferenceError
+from repro.geo.distindex import GeoDistanceIndex
 from repro.traixroute.detector import IXPCrossing
 
 
@@ -59,10 +60,23 @@ class MultiIXPRouter:
 
 @dataclass
 class MultiIXPRouterStep:
-    """Infer peering types through multi-IXP routers."""
+    """Infer peering types through multi-IXP routers.
+
+    The geometric conditions compare (AS, IXP) and (IXP, IXP) facility-set
+    distances that recur across every router of the same AS and IXP pair;
+    all of them are served by the shared :class:`GeoDistanceIndex` min/max
+    aggregates, computed once per index lifetime.
+    """
 
     inputs: InferenceInputs
     config: InferenceConfig = field(default_factory=InferenceConfig)
+    geo_index: GeoDistanceIndex | None = None
+
+    def __post_init__(self) -> None:
+        if self.geo_index is None:
+            self.geo_index = self.inputs.geo_index
+        elif self.geo_index.dataset is not self.inputs.dataset:
+            raise InferenceError("geo_index must be built over the same dataset")
 
     def run(
         self,
@@ -120,7 +134,6 @@ class MultiIXPRouterStep:
     def _classify_router(
         self, router: MultiIXPRouter, studied: set[str], report: InferenceReport
     ) -> None:
-        dataset = self.inputs.dataset
         involved = sorted(router.ixp_ids)
         prior: dict[str, PeeringClassification] = {}
         for ixp_id in involved:
@@ -208,44 +221,27 @@ class MultiIXPRouterStep:
         common = set.intersection(*sets)
         return bool(common)
 
-    def _pairwise_distances(self, facilities_a: set[str], facilities_b: set[str]) -> list[float]:
-        dataset = self.inputs.dataset
-        distances: list[float] = []
-        for fa in facilities_a:
-            loc_a = dataset.facility_location(fa)
-            if loc_a is None:
-                continue
-            for fb in facilities_b:
-                loc_b = dataset.facility_location(fb)
-                if loc_b is None:
-                    continue
-                distances.append(geodesic_distance_km(loc_a, loc_b))
-        return distances
-
     def _remote_condition_b(self, asn: int, anchor_ixp: str, involved: list[str]) -> bool:
         """Condition 2(b): other IXPs are closer to the anchor IXP than the AS can be."""
-        dataset = self.inputs.dataset
-        as_facilities = dataset.facilities_of_as(asn)
-        anchor_facilities = self._facilities(anchor_ixp)
-        as_to_anchor = self._pairwise_distances(as_facilities, anchor_facilities)
-        if not as_to_anchor:
+        index = self.geo_index
+        as_span = index.as_ixp_span_km(asn, anchor_ixp)
+        if as_span is None:
             return False
-        d_min = min(as_to_anchor)
+        d_min = as_span[0]
         for ixp_id in involved:
             if ixp_id == anchor_ixp:
                 continue
-            other_to_anchor = self._pairwise_distances(self._facilities(ixp_id), anchor_facilities)
-            if not other_to_anchor or max(other_to_anchor) >= d_min:
+            other_span = index.ixp_pair_span_km(ixp_id, anchor_ixp)
+            if other_span is None or other_span[1] >= d_min:
                 return False
         return True
 
     def _hybrid_remote_subset(self, asn: int, anchor_ixp: str, involved: list[str]) -> list[str]:
         """IXPs to which the router must be remote, given it is local at the anchor."""
-        dataset = self.inputs.dataset
+        index = self.geo_index
         anchor_facilities = self._facilities(anchor_ixp)
-        common = dataset.facilities_of_as(asn) & anchor_facilities
-        common_distances = self._pairwise_distances(common, anchor_facilities)
-        d_max = max(common_distances) if common_distances else None
+        common_span = index.common_facility_span_km(asn, anchor_ixp)
+        d_max = common_span[1] if common_span is not None else None
 
         remotes: list[str] = []
         for ixp_id in involved:
@@ -258,7 +254,7 @@ class MultiIXPRouterStep:
                 remotes.append(ixp_id)
                 continue
             if d_max is not None:
-                between = self._pairwise_distances(anchor_facilities, other_facilities)
-                if between and min(between) > d_max:
+                between = index.ixp_pair_span_km(anchor_ixp, ixp_id)
+                if between is not None and between[0] > d_max:
                     remotes.append(ixp_id)
         return remotes

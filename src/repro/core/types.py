@@ -65,9 +65,24 @@ class InferenceResult:
 
 @dataclass
 class InferenceReport:
-    """The collection of classifications produced by a pipeline run."""
+    """The collection of classifications produced by a pipeline run.
+
+    :meth:`results_for_as` is served from a lazily built ASN -> keys index
+    guarded by the size of ``results`` (the pattern used across the indexed
+    subsystems): Step 4 queries it once per (router, IXP) combination, which
+    on a corpus is far too hot for a linear scan.  The index stores keys, so
+    in-place reclassification stays visible without a rebuild; key-set
+    changes at unchanged size require :meth:`invalidate_caches`.
+    """
 
     results: dict[tuple[str, str], InferenceResult] = field(default_factory=dict)
+
+    _as_index: tuple[int, dict[int, list[tuple[str, str]]]] | None = field(
+        default=None, init=False, repr=False, compare=False)
+
+    def invalidate_caches(self) -> None:
+        """Drop the derived index; the next accessor call rebuilds it."""
+        self._as_index = None
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -120,9 +135,17 @@ class InferenceReport:
 
     def results_for_as(self, asn: int, ixp_id: str | None = None) -> list[InferenceResult]:
         """All results for one member AS, optionally restricted to an IXP."""
+        cached = self._as_index
+        if cached is None or cached[0] != len(self.results):
+            index: dict[int, list[tuple[str, str]]] = {}
+            for key, result in self.results.items():
+                index.setdefault(result.asn, []).append(key)
+            self._as_index = cached = (len(self.results), index)
+        results = self.results
+        # Tolerate keys deleted since the index was built instead of raising.
         return [
-            r for r in self.results.values()
-            if r.asn == asn and (ixp_id is None or r.ixp_id == ixp_id)
+            results[key] for key in cached[1].get(asn, ())
+            if key in results and (ixp_id is None or key[0] == ixp_id)
         ]
 
     def inferred(self) -> list[InferenceResult]:

@@ -198,6 +198,10 @@ class ObservedDataset:
         """Observed facilities of one AS (may be incomplete or spurious)."""
         return set(self.as_facilities.get(asn, set()))
 
+    def has_facility_data_for_as(self, asn: int) -> bool:
+        """Whether any facility is recorded for an AS (no set copy)."""
+        return bool(self.as_facilities.get(asn))
+
     def facility_location(self, facility_id: str) -> GeoPoint | None:
         """Best-known coordinates of a facility."""
         return self.facility_locations.get(facility_id)

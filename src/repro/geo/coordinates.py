@@ -76,9 +76,17 @@ def geodesic_distance_km(a: GeoPoint, b: GeoPoint, *, max_iterations: int = 200)
     Implements the Vincenty inverse formula on WGS-84.  Falls back to the
     haversine distance when the iteration fails to converge (nearly antipodal
     points), which keeps the function total.
+
+    The result is *exactly* symmetric in its arguments: the endpoints are
+    put in a canonical order before evaluating, because the raw Vincenty
+    iteration can differ in the last ulp under argument swap, and consumers
+    (notably :class:`repro.geo.distindex.GeoDistanceIndex`) memoise distances
+    under order-independent keys and compare them with strict inequalities.
     """
     if a == b:
         return 0.0
+    if b < a:
+        a, b = b, a
 
     phi1 = math.radians(a.latitude)
     phi2 = math.radians(b.latitude)

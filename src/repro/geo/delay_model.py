@@ -122,6 +122,11 @@ class DelayModel:
         self.v_min_floor_km_s = v_min_floor_km_s
         self.base_overhead_ms = base_overhead_ms
         self.inversion_slack_ms = inversion_slack_ms
+        # Memo for the bisection-based RTT -> minimum-distance inversion.
+        # Looking glasses report integer milliseconds, so Step 3 inverts the
+        # same RTT values over and over; the model's parameters are fixed at
+        # construction, making the inversion a pure function of the RTT.
+        self._min_distance_memo: dict[float, float] = {}
 
     # ------------------------------------------------------------------ #
     # Speed bounds
@@ -211,6 +216,20 @@ class DelayModel:
 
     def min_distance_km(self, rtt_ms: float) -> float:
         """Smallest geodesic distance compatible with a measured RTT.
+
+        Memoised per model instance (the parameters are fixed at
+        construction); :meth:`invert_min_distance_km` is the raw,
+        memo-bypassing bisection.
+        """
+        cached = self._min_distance_memo.get(rtt_ms)
+        if cached is not None:
+            return cached
+        distance = self.invert_min_distance_km(rtt_ms)
+        self._min_distance_memo[rtt_ms] = distance
+        return distance
+
+    def invert_min_distance_km(self, rtt_ms: float) -> float:
+        """The raw RTT -> minimum-distance bisection (no memoisation).
 
         Solves ``max_rtt_ms(d) = rtt_ms`` for ``d`` by bisection: any target
         closer than the returned distance would have produced a smaller RTT

@@ -1,0 +1,249 @@
+"""Shared geodesic-distance index for the geometry hot path (Steps 3/4).
+
+The paper's core signal (Section 5.2) turns minimum RTTs into feasible
+distance rings and intersects them with colocation footprints.  The seed
+implementation re-ran the iterative Vincenty solver from scratch for every
+(vantage point, facility) and (facility, facility) combination, although the
+same combinations recur thousands of times per corpus: every interface
+measured from one vantage point re-measures the same IXP facilities, and
+every multi-IXP router of one AS re-compares the same (AS, IXP) and
+(IXP, IXP) facility sets.
+
+:class:`GeoDistanceIndex` is the geometry analogue of
+:class:`repro.netindex.LPMIndex`: one shared, memoised lookup structure built
+per :class:`~repro.datasources.merge.ObservedDataset` and reused across
+pipeline runs (scenario sweeps rerun the pipeline under many configurations
+on the same dataset).  It provides:
+
+* **point-to-facility distances** — computed once per (point, facility) and
+  memoised, including the "facility has no coordinates" miss;
+* **facility-pair distances** — memoised under an order-independent key
+  (geodesic distance is symmetric);
+* **sorted distance profiles** — for one origin point and one footprint (the
+  facilities of an IXP, or of a member AS) the located facilities sorted by
+  distance, so Step 3's feasible-facility test becomes two :mod:`bisect`
+  calls instead of one Vincenty run per facility;
+* **footprint span aggregates** — min/max pairwise distance between two
+  facility sets, memoised per (AS, IXP), (IXP, IXP) and
+  (AS ∩ IXP, IXP) combination for Step 4's remote/hybrid conditions.
+
+Invariants consumers rely on:
+
+1. **Bit-identical distances** — every value served by the index is produced
+   by :func:`repro.geo.coordinates.geodesic_distance_km` on exactly the
+   arguments the per-call path would have used, so classifications computed
+   through the index are identical to the seed per-call path.
+2. **Inclusive interval semantics** — :meth:`DistanceProfile.within` returns
+   facilities with ``min_km <= distance <= max_km`` (``bisect_left`` /
+   ``bisect_right``), matching the seed's inclusive ring comparison.
+3. **Snapshot consistency** — the index assumes the dataset's facility
+   locations and colocation sets do not change during its lifetime.  After
+   mutating the dataset, call :meth:`GeoDistanceIndex.invalidate` (or build
+   a fresh index); memoised entries are never recomputed otherwise.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.geo.coordinates import GeoPoint, geodesic_distance_km
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (merge imports geo)
+    from repro.datasources.merge import ObservedDataset
+
+
+@dataclass(frozen=True)
+class DistanceProfile:
+    """One footprint's located facilities, sorted by distance from one point.
+
+    ``distances[i]`` is the geodesic distance from the origin point to
+    ``facility_ids[i]``; the arrays are sorted by (distance, facility id).
+    Facilities without coordinates are excluded, exactly as the per-call
+    feasibility test treated them (never feasible).
+    """
+
+    distances: tuple[float, ...]
+    facility_ids: tuple[str, ...]
+
+    def within(self, min_km: float, max_km: float) -> set[str]:
+        """Facilities whose distance lies in ``[min_km, max_km]`` (inclusive)."""
+        lo = bisect_left(self.distances, min_km)
+        hi = bisect_right(self.distances, max_km)
+        return set(self.facility_ids[lo:hi])
+
+    def __len__(self) -> int:
+        return len(self.facility_ids)
+
+
+class GeoDistanceIndex:
+    """Memoised geodesic-distance lookups over an observed dataset."""
+
+    __slots__ = (
+        "_dataset",
+        "_point_km",
+        "_pair_km",
+        "_ixp_profiles",
+        "_as_profiles",
+        "_ixp_spans",
+        "_as_ixp_spans",
+        "_common_spans",
+    )
+
+    def __init__(self, dataset: "ObservedDataset") -> None:
+        self._dataset = dataset
+        self._point_km: dict[tuple[GeoPoint, str], float | None] = {}
+        self._pair_km: dict[tuple[str, str], float | None] = {}
+        self._ixp_profiles: dict[tuple[GeoPoint, str], DistanceProfile] = {}
+        self._as_profiles: dict[tuple[GeoPoint, int], DistanceProfile] = {}
+        self._ixp_spans: dict[tuple[str, str], tuple[float, float] | None] = {}
+        self._as_ixp_spans: dict[tuple[int, str], tuple[float, float] | None] = {}
+        self._common_spans: dict[tuple[int, str], tuple[float, float] | None] = {}
+
+    @property
+    def dataset(self) -> "ObservedDataset":
+        """The dataset snapshot this index answers for."""
+        return self._dataset
+
+    def invalidate(self) -> None:
+        """Drop every memo; required after the backing dataset mutates."""
+        self._point_km.clear()
+        self._pair_km.clear()
+        self._ixp_profiles.clear()
+        self._as_profiles.clear()
+        self._ixp_spans.clear()
+        self._as_ixp_spans.clear()
+        self._common_spans.clear()
+
+    # ------------------------------------------------------------------ #
+    # Point / pair distances
+    # ------------------------------------------------------------------ #
+    def facility_distance_km(self, point: GeoPoint, facility_id: str) -> float | None:
+        """Distance from a point to a facility (``None`` if unlocated)."""
+        key = (point, facility_id)
+        if key in self._point_km:
+            return self._point_km[key]
+        location = self._dataset.facility_location(facility_id)
+        distance = None if location is None else geodesic_distance_km(point, location)
+        self._point_km[key] = distance
+        return distance
+
+    def pair_distance_km(self, facility_a: str, facility_b: str) -> float | None:
+        """Distance between two facilities (``None`` if either is unlocated)."""
+        key = (facility_a, facility_b) if facility_a <= facility_b else (
+            facility_b, facility_a)
+        if key in self._pair_km:
+            return self._pair_km[key]
+        loc_a = self._dataset.facility_location(key[0])
+        loc_b = self._dataset.facility_location(key[1])
+        distance = None if loc_a is None or loc_b is None else (
+            geodesic_distance_km(loc_a, loc_b))
+        self._pair_km[key] = distance
+        return distance
+
+    # ------------------------------------------------------------------ #
+    # Sorted distance profiles (Step 3)
+    # ------------------------------------------------------------------ #
+    def ixp_profile(self, point: GeoPoint, ixp_id: str) -> DistanceProfile:
+        """Sorted distances from a point to one IXP's facilities."""
+        key = (point, ixp_id)
+        profile = self._ixp_profiles.get(key)
+        if profile is None:
+            facilities = self._dataset.facilities_of_ixp(ixp_id)
+            profile = self._ixp_profiles[key] = self._build_profile(point, facilities)
+        return profile
+
+    def as_profile(self, point: GeoPoint, asn: int) -> DistanceProfile:
+        """Sorted distances from a point to one member AS's facilities."""
+        key = (point, asn)
+        profile = self._as_profiles.get(key)
+        if profile is None:
+            facilities = self._dataset.facilities_of_as(asn)
+            profile = self._as_profiles[key] = self._build_profile(point, facilities)
+        return profile
+
+    def _build_profile(self, point: GeoPoint, facility_ids: set[str]) -> DistanceProfile:
+        located: list[tuple[float, str]] = []
+        for facility_id in facility_ids:
+            distance = self.facility_distance_km(point, facility_id)
+            if distance is not None:
+                located.append((distance, facility_id))
+        located.sort()
+        return DistanceProfile(
+            distances=tuple(distance for distance, _ in located),
+            facility_ids=tuple(facility_id for _, facility_id in located),
+        )
+
+    def feasible_ixp_facilities(
+        self, point: GeoPoint, ixp_id: str, min_km: float, max_km: float
+    ) -> set[str]:
+        """IXP facilities whose distance from ``point`` lies in the ring."""
+        return self.ixp_profile(point, ixp_id).within(min_km, max_km)
+
+    def feasible_as_facilities(
+        self, point: GeoPoint, asn: int, min_km: float, max_km: float
+    ) -> set[str]:
+        """Member-AS facilities whose distance from ``point`` lies in the ring."""
+        return self.as_profile(point, asn).within(min_km, max_km)
+
+    # ------------------------------------------------------------------ #
+    # Footprint span aggregates (Step 4)
+    # ------------------------------------------------------------------ #
+    def ixp_pair_span_km(self, ixp_a: str, ixp_b: str) -> tuple[float, float] | None:
+        """(min, max) pairwise distance between two IXPs' facility sets."""
+        key = (ixp_a, ixp_b) if ixp_a <= ixp_b else (ixp_b, ixp_a)
+        if key in self._ixp_spans:
+            return self._ixp_spans[key]
+        span = self._span(
+            self._dataset.facilities_of_ixp(key[0]),
+            self._dataset.facilities_of_ixp(key[1]),
+        )
+        self._ixp_spans[key] = span
+        return span
+
+    def as_ixp_span_km(self, asn: int, ixp_id: str) -> tuple[float, float] | None:
+        """(min, max) pairwise distance between an AS's and an IXP's facilities."""
+        key = (asn, ixp_id)
+        if key in self._as_ixp_spans:
+            return self._as_ixp_spans[key]
+        span = self._span(
+            self._dataset.facilities_of_as(asn),
+            self._dataset.facilities_of_ixp(ixp_id),
+        )
+        self._as_ixp_spans[key] = span
+        return span
+
+    def common_facility_span_km(self, asn: int, ixp_id: str) -> tuple[float, float] | None:
+        """(min, max) distance from the AS ∩ IXP facilities to the IXP's facilities.
+
+        This is the Step 4 hybrid condition's bound on how far the member's
+        shared presence can be from the anchor IXP's fabric.
+        """
+        key = (asn, ixp_id)
+        if key in self._common_spans:
+            return self._common_spans[key]
+        ixp_facilities = self._dataset.facilities_of_ixp(ixp_id)
+        common = self._dataset.facilities_of_as(asn) & ixp_facilities
+        span = self._span(common, ixp_facilities)
+        self._common_spans[key] = span
+        return span
+
+    def _span(
+        self, facilities_a: set[str], facilities_b: set[str]
+    ) -> tuple[float, float] | None:
+        """Min/max over the located pairwise distances of two facility sets."""
+        lo: float | None = None
+        hi: float | None = None
+        for fa in facilities_a:
+            for fb in facilities_b:
+                distance = self.pair_distance_km(fa, fb)
+                if distance is None:
+                    continue
+                if lo is None or distance < lo:
+                    lo = distance
+                if hi is None or distance > hi:
+                    hi = distance
+        if lo is None or hi is None:
+            return None
+        return (lo, hi)

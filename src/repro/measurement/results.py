@@ -89,14 +89,27 @@ class PingCampaignResult:
         return list(self._indexed_series()[1].get(vp_id, ()))
 
     def route_server_series_for_vp(self, vp_id: str) -> PingSeries | None:
-        """The route-server control series of one vantage point, if any."""
+        """The route-server control series of one vantage point, if any.
+
+        A vantage point may carry several control series (a retried or
+        refreshed campaign appends a new one); all of their samples are one
+        population of control measurements, so they are merged into a single
+        series rather than silently keeping the first.  The returned series
+        is a merged *read-only view* built when the index was (re)built: the
+        recorded series are never mutated, callers must not mutate the view,
+        and editing a recorded series' samples in place after the index was
+        built requires :meth:`invalidate_caches` to become visible.
+        """
         cached = self._rs_index
         if cached is None or cached[0] != len(self.route_server_series):
             by_vp: dict[str, PingSeries] = {}
             for series in self.route_server_series:
-                # Keep the first series per VP: the seed linear scan
-                # returned the earliest match.
-                by_vp.setdefault(series.vp_id, series)
+                merged = by_vp.get(series.vp_id)
+                if merged is None:
+                    merged = by_vp[series.vp_id] = PingSeries(
+                        vp_id=series.vp_id, ixp_id=series.ixp_id,
+                        target_ip=series.target_ip)
+                merged.samples.extend(series.samples)
             self._rs_index = cached = (len(self.route_server_series), by_vp)
         return cached[1].get(vp_id)
 

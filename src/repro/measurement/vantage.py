@@ -104,7 +104,7 @@ class VantagePointPlanner:
         """
         plan: dict[str, VantagePoint] = {}
         for ixp_id in ixp_ids:
-            ixp = self.world.ixp(ixp_id)
+            self.world.ixp(ixp_id)  # raises UnknownEntityError for bad ids
             facility_id = self._primary_facility(ixp_id)
             plan[ixp_id] = VantagePoint(
                 vp_id=f"internal-{ixp_id}",
@@ -114,7 +114,6 @@ class VantagePointPlanner:
                 location=self.world.facility_location(facility_id),
                 rounds_rtt_up=False,
             )
-            del ixp
         return plan
 
     # ------------------------------------------------------------------ #

@@ -25,6 +25,7 @@ from repro.core.pipeline import PipelineOutcome, RemotePeeringPipeline
 from repro.datasources.merge import MergeStatistics, ObservedDataset, build_observed_dataset
 from repro.datasources.prefix2as import Prefix2ASMap, Prefix2ASSource
 from repro.geo.delay_model import DelayModel
+from repro.geo.distindex import GeoDistanceIndex
 from repro.measurement.ping import PingCampaign
 from repro.measurement.results import PingCampaignResult, TracerouteCorpus
 from repro.measurement.traceroute import TracerouteCampaign
@@ -120,6 +121,17 @@ class RemotePeeringStudy:
     # Inference and validation
     # ------------------------------------------------------------------ #
     @cached_property
+    def geo_index(self) -> GeoDistanceIndex:
+        """The shared geodesic-distance index over the observed facilities.
+
+        Built once per study and threaded through the inputs bundle and the
+        pipeline, so scenario sweeps that rerun the pipeline under many
+        configurations (fig. 9/11 ablations) reuse one set of memoised
+        distances.
+        """
+        return GeoDistanceIndex(self.dataset)
+
+    @cached_property
     def inputs(self) -> InferenceInputs:
         """The observable inputs handed to the inference pipeline."""
         return InferenceInputs(
@@ -128,13 +140,15 @@ class RemotePeeringStudy:
             corpus=self.traceroute_corpus,
             prefix2as=self.prefix2as,
             alias_resolver=self.alias_resolver,
+            geo_index=self.geo_index,
         )
 
     @cached_property
     def outcome(self) -> PipelineOutcome:
         """The result of running the full pipeline on the studied IXPs."""
         pipeline = RemotePeeringPipeline(
-            self.inputs, self.config.inference, delay_model=self.delay_model)
+            self.inputs, self.config.inference, delay_model=self.delay_model,
+            geo_index=self.geo_index)
         return pipeline.run(self.studied_ixp_ids)
 
     @cached_property

@@ -444,7 +444,6 @@ class WorldGenerator:
             self._build_memberships_for_ixp(ixp_id)
 
     def _build_memberships_for_ixp(self, ixp_id: str) -> None:
-        config = self.config
         ixp = self._world.ixps[ixp_id]
         size = self._ixp_sizes[ixp_id]
         remote_fraction = self._ixp_remote_fraction[ixp_id]

@@ -13,10 +13,12 @@ from dataclasses import dataclass, field
 
 from repro.alias.midar import AliasResolver
 from repro.core.inputs import InferenceInputs
+from repro.core.step3_colocation import ColocationRTTStep, FeasibleFacilityAnalysis
 from repro.datasources.merge import ObservedDataset
 from repro.datasources.prefix2as import Prefix2ASMap
 from repro.geo.cities import city_by_name
-from repro.geo.coordinates import offset_point
+from repro.geo.coordinates import geodesic_distance_km, offset_point
+from repro.geo.delay_model import FeasibleRing
 from repro.measurement.results import PingCampaignResult, PingSample, PingSeries, TracerouteCorpus
 from repro.measurement.vantage import VantagePoint, VantagePointKind
 from repro.topology.entities import (
@@ -202,6 +204,48 @@ class MiniScenario:
             prefix2as=prefix2as,
             alias_resolver=AliasResolver(self.world, miss_rate=0.0),
         )
+
+
+class SeedColocationRTTStep(ColocationRTTStep):
+    """The seed Step 3 geometry, kept as the equivalence/benchmark reference.
+
+    One Vincenty run per facility per interface and a raw (unmemoised) RTT
+    inversion per observation — exactly the per-call path the shared
+    :class:`~repro.geo.distindex.GeoDistanceIndex` replaced.  Both the unit
+    equivalence test and the corpus-scale benchmark compare against this one
+    implementation so the two baselines cannot drift apart.
+    """
+
+    def _analyse(self, ixp_id, interface_ip, asn, observation, vp_location):
+        dataset = self.inputs.dataset
+        tolerance = self.config.feasible_facility_tolerance_km
+        ring = FeasibleRing(
+            min_distance_km=self.delay_model.invert_min_distance_km(observation.rtt_lower_ms),
+            max_distance_km=self.delay_model.max_distance_km(observation.rtt_min_ms),
+        )
+
+        def feasible(facility_id):
+            location = dataset.facility_location(facility_id)
+            if location is None:
+                return False
+            distance = geodesic_distance_km(vp_location, location)
+            return (ring.min_distance_km - tolerance) <= distance <= (
+                ring.max_distance_km + tolerance
+            )
+
+        ixp_facilities = dataset.facilities_of_ixp(ixp_id)
+        member_facilities = dataset.facilities_of_as(asn)
+        analysis = FeasibleFacilityAnalysis(
+            ixp_id=ixp_id,
+            interface_ip=interface_ip,
+            asn=asn,
+            ring=ring,
+            feasible_ixp_facilities={f for f in ixp_facilities if feasible(f)},
+            feasible_member_facilities={f for f in member_facilities if feasible(f)},
+            member_has_facility_data=bool(member_facilities),
+        )
+        analysis.classification = self._classify(analysis)
+        return analysis
 
 
 def build_scenario() -> MiniScenario:

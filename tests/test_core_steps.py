@@ -118,6 +118,53 @@ class TestStep2RTT:
         assert summary.queried_per_vp[vp.vp_id] == 3
         assert summary.response_rate(vp.vp_id) == pytest.approx(1.0)
 
+    def test_min_rtt_tie_breaking_is_series_order_independent(self):
+        """On equal rtt_min_ms the smaller rtt_lower_ms (then vp_id) wins.
+
+        The seed kept whichever tying series happened to come first in
+        ``ping.series``, so permuting the list changed the pipeline output
+        and a rounding LG's extra millisecond of ring slack could be lost.
+        """
+        import itertools
+
+        scenario = dual_city_scenario()
+        ixp = scenario.world.ixps[IXP_ID]
+        ams = scenario.world.facilities["fac-001"]
+        atlas = scenario.add_vantage_point(ixp, ams, kind=VantagePointKind.ATLAS_PROBE)
+        # Distinct facility so the two VPs get distinct vp_ids; the LG's
+        # lexicographically *larger* id proves rtt_lower_ms outranks vp_id.
+        lg = scenario.add_vantage_point(ixp, scenario.world.facilities["fac-003"],
+                                        rounds_rtt_up=True)
+        scenario.add_route_server_series(atlas, [0.3])
+        scenario.add_route_server_series(lg, [0.4])
+        # Both VPs measure the same 9.0 ms minimum; the rounding LG carries
+        # rtt_lower_ms = 8.0 and must win regardless of series order.
+        scenario.add_ping_series(atlas, "185.1.0.2", [9.0, 9.4])
+        scenario.add_ping_series(lg, "185.1.0.2", [9.0, 10.0])
+
+        winners = set()
+        for permutation in itertools.permutations(list(scenario.ping_result.series)):
+            scenario.ping_result.series[:] = permutation
+            scenario.ping_result.invalidate_caches()
+            summary = RTTMeasurementStep(scenario.inputs()).run([IXP_ID])
+            observation = summary.observation_for(IXP_ID, "185.1.0.2")
+            winners.add((observation.vp_id, observation.rtt_min_ms, observation.rtt_lower_ms))
+        assert winners == {(lg.vp_id, 9.0, 8.0)}
+
+    def test_min_rtt_tie_on_lower_bound_prefers_lexicographic_vp(self):
+        scenario = dual_city_scenario()
+        ixp = scenario.world.ixps[IXP_ID]
+        ams = scenario.world.facilities["fac-001"]
+        vp_b = scenario.add_vantage_point(ixp, scenario.world.facilities["fac-002"])
+        vp_a = scenario.add_vantage_point(ixp, ams)
+        assert vp_a.vp_id < vp_b.vp_id
+        scenario.add_route_server_series(vp_a, [0.3])
+        scenario.add_route_server_series(vp_b, [0.3])
+        for vp in (vp_b, vp_a):
+            scenario.add_ping_series(vp, "185.1.0.2", [9.0])
+        summary = RTTMeasurementStep(scenario.inputs()).run([IXP_ID])
+        assert summary.observation_for(IXP_ID, "185.1.0.2").vp_id == vp_a.vp_id
+
 
 class TestStep3Colocation:
     def _run(self, scenario):

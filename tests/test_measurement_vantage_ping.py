@@ -148,6 +148,36 @@ class TestPingResultIndexes:
         assert result.route_server_series_for_vp("vp-1").target_ip == "185.1.0.250"
         assert result.route_server_series_for_vp("vp-9") is None
 
+    def test_route_server_retries_merge_into_one_population(self):
+        from repro.measurement.results import PingSample
+
+        result = self._result()
+        first = result.route_server_series[0]
+        first.samples = [PingSample(rtt_ms=0.4, reply_ttl=63)]
+        retry = PingSeries(vp_id="vp-1", ixp_id="ixp-a", target_ip="185.1.0.250")
+        retry.samples = [PingSample(rtt_ms=0.2, reply_ttl=63), PingSample(rtt_ms=0.5, reply_ttl=63)]
+        result.route_server_series.append(retry)
+        merged = result.route_server_series_for_vp("vp-1")
+        # A VP's control samples are one population: a retried series must
+        # not be silently ignored.
+        assert [s.rtt_ms for s in merged.samples] == [0.4, 0.2, 0.5]
+        assert merged.min_rtt() == pytest.approx(0.2)
+        # The merge is a copy; the recorded series stay untouched.
+        assert [s.rtt_ms for s in first.samples] == [0.4]
+        assert [s.rtt_ms for s in retry.samples] == [0.2, 0.5]
+
+    def test_unresponsive_first_control_series_rescued_by_retry(self):
+        from repro.measurement.results import PingSample
+
+        result = PingCampaignResult()
+        dead = PingSeries(vp_id="vp-1", ixp_id="ixp-a", target_ip="185.1.0.250")
+        result.route_server_series.append(dead)
+        assert not result.route_server_series_for_vp("vp-1").responded
+        retry = PingSeries(vp_id="vp-1", ixp_id="ixp-a", target_ip="185.1.0.250")
+        retry.samples = [PingSample(rtt_ms=0.3, reply_ttl=63)]
+        result.route_server_series.append(retry)
+        assert result.route_server_series_for_vp("vp-1").responded
+
     def test_indexes_refresh_after_appends(self):
         result = self._result()
         assert len(result.series_for_vp("vp-2")) == 1  # build the indexes
