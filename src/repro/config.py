@@ -11,7 +11,8 @@ statistical shape of the paper's ecosystem), not the paper's absolute counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Iterable
 
 from repro.constants import CASTRO_RTT_THRESHOLD_MS, PING_CAMPAIGN_ROUNDS
 from repro.exceptions import ConfigurationError
@@ -280,6 +281,31 @@ class InferenceConfig:
             self.feasible_facility_tolerance_km >= 0, "feasible_facility_tolerance_km must be >= 0"
         )
         _require(self.min_private_neighbours >= 1, "min_private_neighbours must be >= 1")
+
+
+def config_fingerprint(
+    config: InferenceConfig, field_names: Iterable[str]
+) -> tuple[tuple[str, object], ...]:
+    """A stable, hashable fingerprint of a subset of an :class:`InferenceConfig`.
+
+    The step-graph engine keys cached step results by the fingerprint of the
+    config fields each step *declares* it reads, so two configurations that
+    agree on a step's declared fields share that step's cached result.  The
+    fingerprint is the sorted tuple of ``(field_name, value)`` pairs — order
+    independent, equality-comparable and usable as (part of) a dict key.
+
+    Unknown field names raise :class:`~repro.exceptions.ConfigurationError`
+    immediately: a typo in a step's declaration would otherwise silently
+    desynchronise the cache from the config values the step actually reads.
+    """
+    known = {f.name for f in fields(InferenceConfig)}
+    pairs: list[tuple[str, object]] = []
+    for name in sorted(field_names):
+        if name not in known:
+            raise ConfigurationError(
+                f"unknown InferenceConfig field {name!r} in fingerprint declaration")
+        pairs.append((name, getattr(config, name)))
+    return tuple(pairs)
 
 
 @dataclass(frozen=True)

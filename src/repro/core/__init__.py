@@ -15,8 +15,10 @@ combining, in order:
    (Constrained-Facility-Search style voting).
 
 :mod:`repro.core.baseline` implements the RTT-threshold-only state of the art
-(Castro et al.) used as the comparison baseline, and
-:mod:`repro.core.pipeline` wires the steps together.
+(Castro et al.) used as the comparison baseline.  :mod:`repro.core.engine`
+executes the steps as a declared graph of fingerprint-keyed, cacheable nodes
+(the scenario-sweep hot path), and :mod:`repro.core.pipeline` is the
+single-configuration facade over it.
 """
 
 from repro.core.types import (
@@ -32,9 +34,23 @@ from repro.core.step3_colocation import ColocationRTTStep, FeasibleFacilityAnaly
 from repro.core.step4_multi_ixp import MultiIXPRouterStep, MultiIXPRouter, MultiIXPRouterKind
 from repro.core.step5_private_links import PrivateConnectivityStep
 from repro.core.baseline import RTTBaseline
+from repro.core.engine import (
+    STEP_GRAPH,
+    PipelineEngine,
+    StepResultCache,
+    StepScope,
+    StepSpec,
+    SweepRunner,
+)
 from repro.core.pipeline import PipelineOutcome, RemotePeeringPipeline
 
 __all__ = [
+    "STEP_GRAPH",
+    "PipelineEngine",
+    "StepResultCache",
+    "StepScope",
+    "StepSpec",
+    "SweepRunner",
     "InferenceReport",
     "InferenceResult",
     "InferenceStep",

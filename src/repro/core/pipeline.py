@@ -1,57 +1,41 @@
-"""The combined five-step inference pipeline.
+"""The combined five-step inference pipeline (facade).
 
 Step ordering follows the paper (Section 5.2): port capacities first (precise
 but narrow), then the RTT campaign post-processing, then the
 colocation-informed RTT interpretation, then multi-IXP routers, and finally
 the private-connectivity vote as a last resort.  Each step only fills in
 interfaces that earlier steps left unknown.
+
+Since the step-graph refactor the execution itself lives in
+:mod:`repro.core.engine`: the pipeline is a thin facade that binds one
+:class:`~repro.config.InferenceConfig` to a :class:`PipelineEngine` and
+returns the engine's (bit-identical) :class:`PipelineOutcome`.  Reusing one
+pipeline instance — or passing a shared ``engine`` — carries the engine's
+:class:`~repro.core.engine.StepResultCache` across runs, so repeated runs
+and scenario sweeps skip every step whose fingerprint is unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.config import InferenceConfig
-from repro.core.baseline import RTTBaseline
+from repro.core.engine import PipelineEngine, PipelineOutcome
 from repro.core.inputs import InferenceInputs
-from repro.core.step1_port_capacity import PortCapacityStep
-from repro.core.step2_rtt import RTTCampaignSummary, RTTMeasurementStep
-from repro.core.step3_colocation import ColocationRTTStep, FeasibleFacilityAnalysis
-from repro.core.step4_multi_ixp import MultiIXPRouter, MultiIXPRouterStep
-from repro.core.step5_private_links import PrivateConnectivityStep
-from repro.core.types import InferenceReport
 from repro.exceptions import InferenceError
 from repro.geo.delay_model import DelayModel
 from repro.geo.distindex import GeoDistanceIndex
-from repro.traixroute.detector import CrossingDetector, IXPCrossing, PrivateAdjacency
 
-
-@dataclass
-class PipelineOutcome:
-    """Everything a pipeline run produced."""
-
-    ixp_ids: list[str]
-    report: InferenceReport
-    baseline_report: InferenceReport
-    rtt_summary: RTTCampaignSummary
-    feasible: dict[tuple[str, str], FeasibleFacilityAnalysis] = field(default_factory=dict)
-    crossings: list[IXPCrossing] = field(default_factory=list)
-    private_adjacencies: list[PrivateAdjacency] = field(default_factory=list)
-    multi_ixp_routers: list[MultiIXPRouter] = field(default_factory=list)
-
-    def remote_share(self, ixp_id: str | None = None) -> float:
-        """Fraction of inferred interfaces classified remote."""
-        return self.report.remote_share(ixp_id)
+__all__ = ["PipelineOutcome", "RemotePeeringPipeline"]
 
 
 class RemotePeeringPipeline:
     """Runs the paper's methodology end to end on observable inputs.
 
-    The geometry of Steps 3 and 4 is served by one shared
+    The geometry of Steps 3-5 is served by one shared
     :class:`GeoDistanceIndex`.  By default the pipeline uses the index owned
     by its inputs bundle, so rerunning the pipeline under different
     configurations (scenario sweeps, ablations) reuses every memoised
-    distance from earlier runs.
+    distance from earlier runs — and, through the step-graph engine, every
+    cached step result whose declared config fields are unchanged.
     """
 
     def __init__(
@@ -61,70 +45,31 @@ class RemotePeeringPipeline:
         *,
         delay_model: DelayModel | None = None,
         geo_index: GeoDistanceIndex | None = None,
+        engine: PipelineEngine | None = None,
     ) -> None:
         self.inputs = inputs
         self.config = config or InferenceConfig()
-        self.delay_model = delay_model or DelayModel()
         if geo_index is not None and geo_index.dataset is not inputs.dataset:
             raise InferenceError("geo_index must be built over the same dataset")
-        self.geo_index = geo_index if geo_index is not None else inputs.geo_index
+        if engine is not None:
+            # A shared engine computes with *its* delay model and geo index;
+            # accepting different ones here would silently misreport what
+            # ran, so explicit arguments must match the engine's.
+            if engine.inputs is not inputs:
+                raise InferenceError("engine must be built over the same inputs bundle")
+            if delay_model is not None and delay_model is not engine.delay_model:
+                raise InferenceError("delay_model must be the shared engine's own")
+            if geo_index is not None and geo_index is not engine.geo_index:
+                raise InferenceError("geo_index must be the shared engine's own")
+            self.engine = engine
+            self.delay_model = engine.delay_model
+            self.geo_index = engine.geo_index
+        else:
+            self.delay_model = delay_model or DelayModel()
+            self.geo_index = geo_index if geo_index is not None else inputs.geo_index
+            self.engine = PipelineEngine(
+                inputs, delay_model=self.delay_model, geo_index=self.geo_index)
 
     def run(self, ixp_ids: list[str]) -> PipelineOutcome:
         """Run every enabled step for the given IXPs."""
-        if not ixp_ids:
-            raise InferenceError("at least one IXP id is required")
-        report = InferenceReport()
-
-        # Step 1: port capacities.
-        if self.config.enable_step1_port_capacity:
-            PortCapacityStep(self.inputs).run(ixp_ids, report)
-        else:
-            self._register_all(ixp_ids, report)
-
-        # Step 2: RTT campaign post-processing.
-        rtt_step = RTTMeasurementStep(self.inputs, self.config)
-        rtt_summary = rtt_step.run(ixp_ids)
-
-        # Step 3: colocation-informed RTT interpretation.
-        feasible: dict[tuple[str, str], FeasibleFacilityAnalysis] = {}
-        if self.config.enable_step3_colocation_rtt:
-            step3 = ColocationRTTStep(self.inputs, self.config, self.delay_model,
-                                      geo_index=self.geo_index)
-            feasible = step3.run(ixp_ids, report, rtt_summary)
-
-        # Traceroute-derived observables shared by Steps 4 and 5.
-        detector = CrossingDetector(self.inputs.dataset, self.inputs.prefix2as)
-        crossings = detector.detect_corpus(self.inputs.corpus)
-        adjacencies = detector.private_adjacencies_corpus(self.inputs.corpus)
-
-        # Step 4: multi-IXP routers.
-        multi_ixp_routers: list[MultiIXPRouter] = []
-        if self.config.enable_step4_multi_ixp:
-            step4 = MultiIXPRouterStep(self.inputs, self.config, geo_index=self.geo_index)
-            multi_ixp_routers = step4.run(ixp_ids, report, crossings)
-
-        # Step 5: private-connectivity localisation.
-        if self.config.enable_step5_private_links:
-            step5 = PrivateConnectivityStep(self.inputs, self.config)
-            step5.run(ixp_ids, report, adjacencies, multi_ixp_routers, feasible)
-
-        # The RTT-threshold baseline, for comparison, on the same measurements.
-        baseline = RTTBaseline(self.inputs, self.config).run(ixp_ids, rtt_summary)
-
-        return PipelineOutcome(
-            ixp_ids=list(ixp_ids),
-            report=report,
-            baseline_report=baseline,
-            rtt_summary=rtt_summary,
-            feasible=feasible,
-            crossings=crossings,
-            private_adjacencies=adjacencies,
-            multi_ixp_routers=multi_ixp_routers,
-        )
-
-    # ------------------------------------------------------------------ #
-    def _register_all(self, ixp_ids: list[str], report: InferenceReport) -> None:
-        """Make sure every member interface is tracked even if Step 1 is off."""
-        for ixp_id in ixp_ids:
-            for interface_ip, asn in self.inputs.dataset.interfaces_of_ixp(ixp_id).items():
-                report.ensure(ixp_id, interface_ip, asn)
+        return self.engine.run(self.config, ixp_ids)

@@ -25,6 +25,7 @@ from repro.constants import EXPECTED_INITIAL_TTLS
 from repro.core.inputs import InferenceInputs
 from repro.measurement.results import PingSeries
 from repro.measurement.vantage import VantagePoint
+from repro.netindex import SizeGuardedIndex
 
 #: Reply TTLs the match/switch filters accept: the initial TTL itself (reply
 #: generated on the LAN) or one below it (reply that crossed the IXP switch).
@@ -68,33 +69,34 @@ class RTTCampaignSummary:
     responsive_per_vp: dict[str, int] = field(default_factory=dict)
 
     # Lazily built IXP -> observation-keys index, guarded by the size of
-    # ``observations``.  The index stores keys, not observation objects, so
-    # in-place replacement of an observation under an existing key stays
-    # visible without a rebuild.  Mutations that keep the size unchanged but
-    # alter the key set (delete one key, insert another) require
-    # :meth:`invalidate_caches`.
-    _keys_by_ixp: tuple[int, dict[str, list[tuple[str, str]]]] | None = field(
-        default=None, init=False, repr=False, compare=False)
+    # ``observations`` (the shared SizeGuardedIndex pattern).  The index
+    # stores keys, not observation objects, so in-place replacement of an
+    # observation under an existing key stays visible without a rebuild.
+    # Mutations that keep the size unchanged but alter the key set (delete
+    # one key, insert another) require :meth:`invalidate_caches`.
+    _keys_by_ixp: SizeGuardedIndex = field(
+        default_factory=SizeGuardedIndex, init=False, repr=False, compare=False)
 
     def invalidate_caches(self) -> None:
         """Drop the derived index; the next accessor call rebuilds it."""
-        self._keys_by_ixp = None
+        self._keys_by_ixp.invalidate()
 
     def observation_for(self, ixp_id: str, interface_ip: str) -> RTTObservation | None:
         """The kept observation for one interface, if any."""
         return self.observations.get((ixp_id, interface_ip))
 
+    def _build_keys_by_ixp(self) -> dict[str, list[tuple[str, str]]]:
+        index: dict[str, list[tuple[str, str]]] = {}
+        for key in self.observations:
+            index.setdefault(key[0], []).append(key)
+        return index
+
     def observations_for_ixp(self, ixp_id: str) -> list[RTTObservation]:
         """All kept observations at one IXP."""
-        cached = self._keys_by_ixp
-        if cached is None or cached[0] != len(self.observations):
-            index: dict[str, list[tuple[str, str]]] = {}
-            for key in self.observations:
-                index.setdefault(key[0], []).append(key)
-            self._keys_by_ixp = cached = (len(self.observations), index)
+        index = self._keys_by_ixp.get(len(self.observations), self._build_keys_by_ixp)
         observations = self.observations
         # Tolerate keys deleted since the index was built instead of raising.
-        return [observations[key] for key in cached[1].get(ixp_id, ()) if key in observations]
+        return [observations[key] for key in index.get(ixp_id, ()) if key in observations]
 
     def response_rate(self, vp_id: str) -> float:
         """Fraction of queried interfaces that answered a vantage point."""
@@ -126,25 +128,30 @@ class RTTMeasurementStep:
                 continue
             summary.usable_vps[vp_id] = vp
 
-        for series in ping.series:
-            if series.ixp_id not in wanted:
-                continue
-            vp = ping.vantage_points.get(series.vp_id)
-            if vp is None or series.vp_id not in summary.usable_vps:
-                continue
-            summary.queried_per_vp[series.vp_id] = (
-                summary.queried_per_vp.get(series.vp_id, 0) + 1
-            )
-            observation = self._process_series(series, vp)
-            if observation is None:
-                continue
-            summary.responsive_per_vp[series.vp_id] = (
-                summary.responsive_per_vp.get(series.vp_id, 0) + 1
-            )
-            key = (series.ixp_id, series.target_ip)
-            existing = summary.observations.get(key)
-            if existing is None or self._prefer(observation, existing):
-                summary.observations[key] = observation
+        # Iterate the campaign's per-IXP series index instead of filtering
+        # the full series list: the engine runs this step once per studied
+        # IXP, and a full scan per IXP would be O(IXPs x series).  The kept
+        # observation per key is unaffected by iteration order (_prefer is a
+        # total order), and keys never span IXPs.  Deduplicate the requested
+        # ids so a repeated id cannot double-count the per-VP tallies.
+        for ixp_id in dict.fromkeys(ixp_ids):
+            for series in ping.series_for_ixp(ixp_id):
+                vp = ping.vantage_points.get(series.vp_id)
+                if vp is None or series.vp_id not in summary.usable_vps:
+                    continue
+                summary.queried_per_vp[series.vp_id] = (
+                    summary.queried_per_vp.get(series.vp_id, 0) + 1
+                )
+                observation = self._process_series(series, vp)
+                if observation is None:
+                    continue
+                summary.responsive_per_vp[series.vp_id] = (
+                    summary.responsive_per_vp.get(series.vp_id, 0) + 1
+                )
+                key = (series.ixp_id, series.target_ip)
+                existing = summary.observations.get(key)
+                if existing is None or self._prefer(observation, existing):
+                    summary.observations[key] = observation
         return summary
 
     @staticmethod

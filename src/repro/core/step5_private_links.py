@@ -15,7 +15,7 @@ router lives in, in the spirit of Constrained Facility Search:
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.config import InferenceConfig
@@ -23,15 +23,30 @@ from repro.core.inputs import InferenceInputs
 from repro.core.step3_colocation import FeasibleFacilityAnalysis
 from repro.core.step4_multi_ixp import MultiIXPRouter
 from repro.core.types import InferenceReport, InferenceStep, PeeringClassification
+from repro.exceptions import InferenceError
+from repro.geo.distindex import GeoDistanceIndex
 from repro.traixroute.detector import PrivateAdjacency
 
 
 @dataclass
 class PrivateConnectivityStep:
-    """Vote-based localisation of members through their private neighbours."""
+    """Vote-based localisation of members through their private neighbours.
+
+    The facility vote is served by the shared
+    :class:`GeoDistanceIndex.majority_facility_vote` memo — the same
+    neighbour sets recur across the interfaces of one member AS and across
+    scenario-sweep reruns, so each vote is tallied once per index lifetime.
+    """
 
     inputs: InferenceInputs
     config: InferenceConfig = field(default_factory=InferenceConfig)
+    geo_index: GeoDistanceIndex | None = None
+
+    def __post_init__(self) -> None:
+        if self.geo_index is None:
+            self.geo_index = self.inputs.geo_index
+        elif self.geo_index.dataset is not self.inputs.dataset:
+            raise InferenceError("geo_index must be built over the same dataset")
 
     def run(
         self,
@@ -154,23 +169,13 @@ class PrivateConnectivityStep:
         return neighbours
 
     def _common_facilities(self, neighbours: set[int]) -> set[str]:
-        """Facilities shared by the majority of the neighbours with data."""
-        dataset = self.inputs.dataset
-        votes: Counter[str] = Counter()
-        voters = 0
-        for neighbour in neighbours:
-            facilities = dataset.facilities_of_as(neighbour)
-            if not facilities:
-                continue
-            voters += 1
-            votes.update(facilities)
-        if not votes or voters == 0:
-            return set()
-        # Facilities shared by a strict majority of the voting neighbours.
-        # When no facility reaches a majority the neighbour set is
-        # geographically incoherent and no vote is cast — Step 5 then simply
-        # makes no inference for this member.
-        return {facility for facility, count in votes.items() if count > voters / 2.0}
+        """Facilities shared by the majority of the neighbours with data.
+
+        When no facility reaches a strict majority the neighbour set is
+        geographically incoherent and no vote is cast — Step 5 then simply
+        makes no inference for this member.
+        """
+        return set(self.geo_index.majority_facility_vote(frozenset(neighbours)))
 
     def _feasible_ixp_facilities(
         self,

@@ -7,6 +7,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.exceptions import InferenceError
+from repro.netindex import SizeGuardedIndex
 
 
 class PeeringClassification(enum.Enum):
@@ -67,22 +68,27 @@ class InferenceResult:
 class InferenceReport:
     """The collection of classifications produced by a pipeline run.
 
-    :meth:`results_for_as` is served from a lazily built ASN -> keys index
-    guarded by the size of ``results`` (the pattern used across the indexed
-    subsystems): Step 4 queries it once per (router, IXP) combination, which
-    on a corpus is far too hot for a linear scan.  The index stores keys, so
+    :meth:`results_for_as` and :meth:`results_for_ixp` are served from lazily
+    built key indexes guarded by the size of ``results`` (the shared
+    :class:`~repro.netindex.sizeguard.SizeGuardedIndex` pattern): Step 4
+    queries the ASN index once per (router, IXP) combination and sweep
+    reporting queries the IXP index once per (scenario, IXP), which on a
+    corpus is far too hot for a linear scan.  The indexes store keys, so
     in-place reclassification stays visible without a rebuild; key-set
     changes at unchanged size require :meth:`invalidate_caches`.
     """
 
     results: dict[tuple[str, str], InferenceResult] = field(default_factory=dict)
 
-    _as_index: tuple[int, dict[int, list[tuple[str, str]]]] | None = field(
-        default=None, init=False, repr=False, compare=False)
+    _as_index: SizeGuardedIndex = field(
+        default_factory=SizeGuardedIndex, init=False, repr=False, compare=False)
+    _ixp_index: SizeGuardedIndex = field(
+        default_factory=SizeGuardedIndex, init=False, repr=False, compare=False)
 
     def invalidate_caches(self) -> None:
-        """Drop the derived index; the next accessor call rebuilds it."""
-        self._as_index = None
+        """Drop the derived indexes; the next accessor call rebuilds them."""
+        self._as_index.invalidate()
+        self._ixp_index.invalidate()
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -129,22 +135,32 @@ class InferenceReport:
         result = self.results.get((ixp_id, interface_ip))
         return result.classification if result else PeeringClassification.UNKNOWN
 
+    def _build_ixp_index(self) -> dict[str, list[tuple[str, str]]]:
+        index: dict[str, list[tuple[str, str]]] = {}
+        for key in self.results:
+            index.setdefault(key[0], []).append(key)
+        return index
+
+    def _build_as_index(self) -> dict[int, list[tuple[str, str]]]:
+        index: dict[int, list[tuple[str, str]]] = {}
+        for key, result in self.results.items():
+            index.setdefault(result.asn, []).append(key)
+        return index
+
     def results_for_ixp(self, ixp_id: str) -> list[InferenceResult]:
         """All results at one IXP."""
-        return [r for (ixp, _), r in self.results.items() if ixp == ixp_id]
+        index = self._ixp_index.get(len(self.results), self._build_ixp_index)
+        results = self.results
+        # Tolerate keys deleted since the index was built instead of raising.
+        return [results[key] for key in index.get(ixp_id, ()) if key in results]
 
     def results_for_as(self, asn: int, ixp_id: str | None = None) -> list[InferenceResult]:
         """All results for one member AS, optionally restricted to an IXP."""
-        cached = self._as_index
-        if cached is None or cached[0] != len(self.results):
-            index: dict[int, list[tuple[str, str]]] = {}
-            for key, result in self.results.items():
-                index.setdefault(result.asn, []).append(key)
-            self._as_index = cached = (len(self.results), index)
+        index = self._as_index.get(len(self.results), self._build_as_index)
         results = self.results
         # Tolerate keys deleted since the index was built instead of raising.
         return [
-            results[key] for key in cached[1].get(asn, ())
+            results[key] for key in index.get(asn, ())
             if key in results and (ixp_id is None or key[0] == ixp_id)
         ]
 

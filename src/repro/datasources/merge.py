@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from repro.datasources.records import SourceName, SourceSnapshot
 from repro.exceptions import DataSourceError
 from repro.geo.coordinates import GeoPoint
-from repro.netindex import LPMIndex
+from repro.netindex import LPMIndex, SizeGuardedIndex
 from repro.topology.entities import TrafficLevel
 
 #: Preference order used to resolve conflicting records (highest first).
@@ -96,10 +96,12 @@ class ObservedDataset:
 
     The hot lookups (:meth:`ixp_for_ip`, :meth:`interfaces_of_ixp`,
     :meth:`members_of_ixp`) are served from lazily built indexes over the
-    public dicts.  The indexes rebuild automatically whenever the backing
-    dict *grows or shrinks*; code that replaces values in place without
-    changing the dict's size must call :meth:`invalidate_caches` afterwards
-    (as :class:`DatasetMerger` does after a merge).
+    public dicts, held in shared
+    :class:`~repro.netindex.sizeguard.SizeGuardedIndex` guards.  The indexes
+    rebuild automatically whenever the backing dict *grows or shrinks*; code
+    that replaces values in place without changing the dict's size must call
+    :meth:`invalidate_caches` afterwards (as :class:`DatasetMerger` does
+    after a merge).
     """
 
     ixp_prefixes: dict[str, str] = field(default_factory=dict)
@@ -115,12 +117,11 @@ class ObservedDataset:
     customer_cone_sizes: dict[int, int] = field(default_factory=dict)
     countries: dict[int, str] = field(default_factory=dict)
 
-    # Lazily built lookup indexes, each guarded by the size of its source
-    # dict: (size, payload).  Never part of equality or repr.
-    _lan_index: tuple[int, LPMIndex] | None = field(
-        default=None, init=False, repr=False, compare=False)
-    _ixp_views: tuple[int, dict[str, dict[str, int]]] | None = field(
-        default=None, init=False, repr=False, compare=False)
+    # Size-guarded lookup indexes; never part of equality or repr.
+    _lan_index: SizeGuardedIndex = field(
+        default_factory=SizeGuardedIndex, init=False, repr=False, compare=False)
+    _ixp_views: SizeGuardedIndex = field(
+        default_factory=SizeGuardedIndex, init=False, repr=False, compare=False)
     _ixp_members: dict[str, set[int]] = field(
         default_factory=dict, init=False, repr=False, compare=False)
 
@@ -129,28 +130,29 @@ class ObservedDataset:
     # ------------------------------------------------------------------ #
     def invalidate_caches(self) -> None:
         """Drop every derived index; the next lookup rebuilds them."""
-        self._lan_index = None
-        self._ixp_views = None
+        self._lan_index.invalidate()
+        self._ixp_views.invalidate()
         self._ixp_members = {}
 
     def ixp_ids(self) -> list[str]:
         """All IXPs present in the merged dataset."""
         return sorted(set(self.ixp_prefixes.values()) | set(self.ixp_facilities))
 
+    def _build_interface_views(self) -> dict[str, dict[str, int]]:
+        by_ixp: dict[str, dict[str, int]] = {}
+        for ip, owner in self.interface_ixp.items():
+            asn = self.interface_asn.get(ip)
+            # Skip interfaces with no ASN record rather than letting one
+            # inconsistent entry poison the view for every IXP.
+            if asn is not None:
+                by_ixp.setdefault(owner, {})[ip] = asn
+        # A rebuilt view invalidates the member-set memo derived from it.
+        self._ixp_members = {}
+        return by_ixp
+
     def _interfaces_by_ixp(self) -> dict[str, dict[str, int]]:
         """IXP -> (IP -> member ASN) view, rebuilt when interfaces change."""
-        cached = self._ixp_views
-        if cached is None or cached[0] != len(self.interface_ixp):
-            by_ixp: dict[str, dict[str, int]] = {}
-            for ip, owner in self.interface_ixp.items():
-                asn = self.interface_asn.get(ip)
-                # Skip interfaces with no ASN record rather than letting one
-                # inconsistent entry poison the view for every IXP.
-                if asn is not None:
-                    by_ixp.setdefault(owner, {})[ip] = asn
-            self._ixp_views = cached = (len(self.interface_ixp), by_ixp)
-            self._ixp_members = {}
-        return cached[1]
+        return self._ixp_views.get(len(self.interface_ixp), self._build_interface_views)
 
     def interfaces_of_ixp(self, ixp_id: str) -> dict[str, int]:
         """IP -> member ASN for one IXP."""
@@ -181,11 +183,9 @@ class ObservedDataset:
         misclassified addresses whenever a more-specific LAN nested inside a
         broader registered prefix.
         """
-        cached = self._lan_index
-        if cached is None or cached[0] != len(self.ixp_prefixes):
-            cached = (len(self.ixp_prefixes), LPMIndex(self.ixp_prefixes))
-            self._lan_index = cached
-        return cached[1].lookup(ip)
+        index = self._lan_index.get(
+            len(self.ixp_prefixes), lambda: LPMIndex(self.ixp_prefixes))
+        return index.lookup(ip)
 
     # ------------------------------------------------------------------ #
     # Colocation lookups

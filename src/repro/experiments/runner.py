@@ -40,16 +40,19 @@ EXPERIMENTS: dict[str, Callable[[RemotePeeringStudy], ExperimentResult]] = {
     "fig6": fig6.run,
     "fig7": fig7.run,
     "table4": table4.run,
+    "table4_agreement": table4.run_table4_agreement,
     "fig8": fig8.run,
     "table5": table5.run,
     "fig9a": fig9.run_fig9a,
     "fig9b": fig9.run_fig9b,
     "fig9c": fig9.run_fig9c,
     "fig9d": fig9.run_fig9d,
+    "fig9_ablation": fig9.run_fig9_ablation,
     "fig10a": fig10.run_fig10a,
     "fig10b": fig10.run_fig10b,
     "fig11a": fig11.run_fig11a,
     "fig11b": fig11.run_fig11b,
+    "fig11_sensitivity": fig11.run_fig11_threshold_sensitivity,
     "fig12a": fig12.run_fig12a,
     "fig12b": fig12.run_fig12b,
     "sec64": sec64.run,

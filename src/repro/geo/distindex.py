@@ -25,7 +25,11 @@ on the same dataset).  It provides:
   calls instead of one Vincenty run per facility;
 * **footprint span aggregates** — min/max pairwise distance between two
   facility sets, memoised per (AS, IXP), (IXP, IXP) and
-  (AS ∩ IXP, IXP) combination for Step 4's remote/hybrid conditions.
+  (AS ∩ IXP, IXP) combination for Step 4's remote/hybrid conditions;
+* **majority facility votes** — the facilities shared by a strict majority of
+  a neighbour-AS set, memoised per frozen neighbour set for Step 5's
+  private-connectivity vote (the same neighbour sets recur across the
+  interfaces of one member AS and across scenario-sweep reruns).
 
 Invariants consumers rely on:
 
@@ -45,6 +49,7 @@ Invariants consumers rely on:
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -89,6 +94,7 @@ class GeoDistanceIndex:
         "_ixp_spans",
         "_as_ixp_spans",
         "_common_spans",
+        "_majority_votes",
     )
 
     def __init__(self, dataset: "ObservedDataset") -> None:
@@ -100,6 +106,7 @@ class GeoDistanceIndex:
         self._ixp_spans: dict[tuple[str, str], tuple[float, float] | None] = {}
         self._as_ixp_spans: dict[tuple[int, str], tuple[float, float] | None] = {}
         self._common_spans: dict[tuple[int, str], tuple[float, float] | None] = {}
+        self._majority_votes: dict[frozenset[int], frozenset[str]] = {}
 
     @property
     def dataset(self) -> "ObservedDataset":
@@ -115,6 +122,7 @@ class GeoDistanceIndex:
         self._ixp_spans.clear()
         self._as_ixp_spans.clear()
         self._common_spans.clear()
+        self._majority_votes.clear()
 
     # ------------------------------------------------------------------ #
     # Point / pair distances
@@ -228,6 +236,40 @@ class GeoDistanceIndex:
         span = self._span(common, ixp_facilities)
         self._common_spans[key] = span
         return span
+
+    # ------------------------------------------------------------------ #
+    # Majority facility votes (Step 5)
+    # ------------------------------------------------------------------ #
+    def majority_facility_vote(self, asns: frozenset[int]) -> frozenset[str]:
+        """Facilities shared by a strict majority of the voting neighbours.
+
+        Exactly Step 5's Constrained-Facility-Search-style vote: every AS in
+        ``asns`` with observed colocation data votes for each of its
+        facilities, and the facilities named by more than half of the voters
+        win.  An empty vote (no voter, or no facility with a majority) is the
+        empty set.  Memoised per frozen neighbour set — like the span
+        aggregates, the same sets recur across every interface of one member
+        AS and across scenario-sweep reruns.
+        """
+        key = asns if isinstance(asns, frozenset) else frozenset(asns)
+        cached = self._majority_votes.get(key)
+        if cached is not None:
+            return cached
+        votes: Counter[str] = Counter()
+        voters = 0
+        for asn in key:
+            facilities = self._dataset.facilities_of_as(asn)
+            if not facilities:
+                continue
+            voters += 1
+            votes.update(facilities)
+        if not votes or voters == 0:
+            result: frozenset[str] = frozenset()
+        else:
+            result = frozenset(
+                facility for facility, count in votes.items() if count > voters / 2.0)
+        self._majority_votes[key] = result
+        return result
 
     def _span(
         self, facilities_a: set[str], facilities_b: set[str]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.netindex import SizeGuardedIndex
 from repro.routing.forwarding import ForwardingPath
 
 
@@ -48,37 +49,40 @@ class PingCampaignResult:
     """Everything a ping campaign produced.
 
     The per-VP and per-IXP accessors are served from lazily built dict
-    indexes over the (append-only) series lists; an index rebuilds
-    automatically whenever its backing list changed length since it was
-    built.
+    indexes over the (append-only) series lists, held in shared
+    :class:`~repro.netindex.sizeguard.SizeGuardedIndex` guards; an index
+    rebuilds automatically whenever its backing list changed length since it
+    was built.
     """
 
     series: list[PingSeries] = field(default_factory=list)
     route_server_series: list[PingSeries] = field(default_factory=list)
     vantage_points: dict[str, "VantagePoint"] = field(default_factory=dict)  # noqa: F821
 
-    # (size-when-built, index) pairs; never part of equality or repr.
-    _series_index: tuple[int, dict[str, list[PingSeries]], dict[str, list[PingSeries]]] | None = (
-        field(default=None, init=False, repr=False, compare=False))
-    _rs_index: tuple[int, dict[str, PingSeries]] | None = field(
-        default=None, init=False, repr=False, compare=False)
+    # Size-guarded derived indexes; never part of equality or repr.
+    _series_index: SizeGuardedIndex = field(
+        default_factory=SizeGuardedIndex, init=False, repr=False, compare=False)
+    _rs_index: SizeGuardedIndex = field(
+        default_factory=SizeGuardedIndex, init=False, repr=False, compare=False)
 
     def invalidate_caches(self) -> None:
         """Drop the derived indexes (needed after same-length list edits)."""
-        self._series_index = None
-        self._rs_index = None
+        self._series_index.invalidate()
+        self._rs_index.invalidate()
+
+    def _build_series_index(
+        self,
+    ) -> tuple[dict[str, list[PingSeries]], dict[str, list[PingSeries]]]:
+        by_ixp: dict[str, list[PingSeries]] = {}
+        by_vp: dict[str, list[PingSeries]] = {}
+        for series in self.series:
+            by_ixp.setdefault(series.ixp_id, []).append(series)
+            by_vp.setdefault(series.vp_id, []).append(series)
+        return by_ixp, by_vp
 
     def _indexed_series(self) -> tuple[dict[str, list[PingSeries]], dict[str, list[PingSeries]]]:
         """(IXP -> series, VP -> series) indexes over the member series."""
-        cached = self._series_index
-        if cached is None or cached[0] != len(self.series):
-            by_ixp: dict[str, list[PingSeries]] = {}
-            by_vp: dict[str, list[PingSeries]] = {}
-            for series in self.series:
-                by_ixp.setdefault(series.ixp_id, []).append(series)
-                by_vp.setdefault(series.vp_id, []).append(series)
-            self._series_index = cached = (len(self.series), by_ixp, by_vp)
-        return cached[1], cached[2]
+        return self._series_index.get(len(self.series), self._build_series_index)
 
     def series_for_ixp(self, ixp_id: str) -> list[PingSeries]:
         """Member-interface series collected at one IXP."""
@@ -100,18 +104,19 @@ class PingCampaignResult:
         and editing a recorded series' samples in place after the index was
         built requires :meth:`invalidate_caches` to become visible.
         """
-        cached = self._rs_index
-        if cached is None or cached[0] != len(self.route_server_series):
-            by_vp: dict[str, PingSeries] = {}
-            for series in self.route_server_series:
-                merged = by_vp.get(series.vp_id)
-                if merged is None:
-                    merged = by_vp[series.vp_id] = PingSeries(
-                        vp_id=series.vp_id, ixp_id=series.ixp_id,
-                        target_ip=series.target_ip)
-                merged.samples.extend(series.samples)
-            self._rs_index = cached = (len(self.route_server_series), by_vp)
-        return cached[1].get(vp_id)
+        index = self._rs_index.get(len(self.route_server_series), self._build_rs_index)
+        return index.get(vp_id)
+
+    def _build_rs_index(self) -> dict[str, PingSeries]:
+        by_vp: dict[str, PingSeries] = {}
+        for series in self.route_server_series:
+            merged = by_vp.get(series.vp_id)
+            if merged is None:
+                merged = by_vp[series.vp_id] = PingSeries(
+                    vp_id=series.vp_id, ixp_id=series.ixp_id,
+                    target_ip=series.target_ip)
+            merged.samples.extend(series.samples)
+        return by_vp
 
     def queried_interfaces(self, ixp_id: str | None = None) -> set[str]:
         """Interfaces that were queried (optionally for one IXP)."""

@@ -12,8 +12,14 @@ and answers lookups with a single binary search over pre-parsed integer
 ranges instead of re-parsing every prefix on every probe.  See
 :mod:`repro.netindex.lpm` for the data-structure details and the invariants
 consumers rely on.
+
+:mod:`repro.netindex.sizeguard` holds the companion
+:class:`~repro.netindex.sizeguard.SizeGuardedIndex` helper — the shared
+implementation of the (size-when-built, payload) lazy-cache pattern used by
+every derived-index accessor in the result containers.
 """
 
 from repro.netindex.lpm import LPMIndex
+from repro.netindex.sizeguard import SizeGuardedIndex
 
-__all__ = ["LPMIndex"]
+__all__ = ["LPMIndex", "SizeGuardedIndex"]

@@ -1,0 +1,60 @@
+"""Shared size-guarded lazy-index helper.
+
+Several result containers serve hot accessors from a derived index (a dict
+keyed by IXP, ASN or vantage point) that is built lazily from a backing
+collection and must be rebuilt when that collection changes.  The guard used
+everywhere is the *size* of the backing collection: the containers are
+append-mostly, so growing or shrinking the collection is the mutation that
+matters, and it is detectable in O(1).  The pattern used to be hand-rolled as
+a ``(size-when-built, payload)`` tuple in five places (the
+:class:`~repro.core.types.InferenceReport` indexes, the two
+:class:`~repro.measurement.results.PingCampaignResult` indexes,
+:meth:`~repro.core.step2_rtt.RTTCampaignSummary.observations_for_ixp` and the
+:class:`~repro.datasources.merge.ObservedDataset` views); this module is the
+single implementation they all share, so the staleness contract cannot drift.
+
+The contract every consumer documents and relies on:
+
+* the payload is rebuilt whenever the backing collection's size differs from
+  the size at build time (growth and shrinkage are detected automatically);
+* mutations that keep the size unchanged — replacing a value in place,
+  deleting one key and inserting another — are *not* detected and require an
+  explicit :meth:`SizeGuardedIndex.invalidate` (the containers expose this as
+  ``invalidate_caches()``);
+* the ``(size, payload)`` pair is stored and swapped as one atomic reference,
+  so a reader never observes a fresh size with a stale payload (relevant when
+  per-IXP engine nodes run on a thread pool — the worst concurrent case is a
+  duplicated build, never a torn one).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+P = TypeVar("P")
+
+
+class SizeGuardedIndex(Generic[P]):
+    """A lazily built payload guarded by the size of its backing collection."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self) -> None:
+        self._state: tuple[int, P] | None = None
+
+    def get(self, current_size: int, build: Callable[[], P]) -> P:
+        """The payload, rebuilt via ``build()`` if the guarded size changed."""
+        state = self._state
+        if state is None or state[0] != current_size:
+            state = (current_size, build())
+            self._state = state
+        return state[1]
+
+    def invalidate(self) -> None:
+        """Drop the payload; the next :meth:`get` rebuilds it."""
+        self._state = None
+
+    @property
+    def is_built(self) -> bool:
+        """Whether a payload is currently held (mainly for tests)."""
+        return self._state is not None

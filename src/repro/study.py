@@ -18,8 +18,11 @@ from __future__ import annotations
 
 from functools import cached_property
 
+from collections.abc import Sequence
+
 from repro.alias.midar import AliasResolver
-from repro.config import ExperimentConfig
+from repro.config import ExperimentConfig, InferenceConfig
+from repro.core.engine import PipelineEngine, SweepRunner
 from repro.core.inputs import InferenceInputs
 from repro.core.pipeline import PipelineOutcome, RemotePeeringPipeline
 from repro.datasources.merge import MergeStatistics, ObservedDataset, build_observed_dataset
@@ -144,12 +147,40 @@ class RemotePeeringStudy:
         )
 
     @cached_property
+    def engine(self) -> PipelineEngine:
+        """The shared step-graph engine (one step-result cache per study).
+
+        Everything that reruns the pipeline on this study — the cached
+        :attr:`outcome`, :meth:`sweep`, ad-hoc facades built with
+        ``engine=study.engine`` — shares this engine, so any step whose
+        declared config fields are unchanged between runs is reused from its
+        cache instead of recomputed.
+        """
+        return PipelineEngine(
+            self.inputs, delay_model=self.delay_model, geo_index=self.geo_index)
+
+    @cached_property
     def outcome(self) -> PipelineOutcome:
         """The result of running the full pipeline on the studied IXPs."""
         pipeline = RemotePeeringPipeline(
             self.inputs, self.config.inference, delay_model=self.delay_model,
-            geo_index=self.geo_index)
+            geo_index=self.geo_index, engine=self.engine)
         return pipeline.run(self.studied_ixp_ids)
+
+    def sweep(
+        self,
+        configs: Sequence[InferenceConfig],
+        ixp_ids: Sequence[str] | None = None,
+    ) -> list[PipelineOutcome]:
+        """Run a list of inference-config scenarios over the studied IXPs.
+
+        The shared entry point of the fig. 9 / fig. 11 / table 4 style
+        scenario sweeps: every scenario goes through :attr:`engine`, so each
+        outcome reuses every step result (and memoised distance) whose
+        fingerprint is unchanged since any earlier run on this study.
+        """
+        ids = list(self.studied_ixp_ids if ixp_ids is None else ixp_ids)
+        return SweepRunner(self.engine).run(configs, ids)
 
     @cached_property
     def validation(self) -> ValidationDataset:

@@ -101,6 +101,24 @@ class TestInferenceReport:
         assert len(report.results_for_ixp("ixp-b")) == 1
         assert len(report.unknown()) == 1
 
+    def test_results_for_ixp_index_tracks_growth(self):
+        report = InferenceReport()
+        report.ensure("ixp-a", "185.1.0.1", 1)
+        assert len(report.results_for_ixp("ixp-a")) == 1
+        # Growth is detected by the size guard without an explicit reset.
+        report.ensure("ixp-a", "185.1.0.2", 2)
+        assert len(report.results_for_ixp("ixp-a")) == 2
+        # In-place reclassification stays visible (the index stores keys).
+        report.classify("ixp-a", "185.1.0.1", 1, PeeringClassification.REMOTE,
+                        InferenceStep.PORT_CAPACITY)
+        assert any(r.is_remote for r in report.results_for_ixp("ixp-a"))
+        # Key-set changes at unchanged size require invalidate_caches().
+        del report.results[("ixp-a", "185.1.0.2")]
+        report.ensure("ixp-b", "185.2.0.1", 3)
+        assert report.results_for_ixp("ixp-b") == []
+        report.invalidate_caches()
+        assert len(report.results_for_ixp("ixp-b")) == 1
+
 
 class TestInferenceInputs:
     def test_rejects_empty_dataset(self):

@@ -137,3 +137,47 @@ class TestIPv6:
         assert index.lookup("2001:db8::1") == "v6"
         assert index.lookup("2001:db8:1::1") == "v6-inner"
         assert index.lookup("2001:db9::1") is None
+
+
+class TestSizeGuardedIndex:
+    """The shared (size-when-built, payload) lazy-cache helper."""
+
+    def test_builds_lazily_and_once_per_size(self):
+        from repro.netindex import SizeGuardedIndex
+        backing = {"a": 1}
+        builds = []
+
+        def build():
+            builds.append(len(backing))
+            return dict(backing)
+
+        guard = SizeGuardedIndex()
+        assert not guard.is_built
+        assert guard.get(len(backing), build) == {"a": 1}
+        assert guard.get(len(backing), build) == {"a": 1}
+        assert builds == [1], "same size must not rebuild"
+
+    def test_size_change_triggers_rebuild(self):
+        from repro.netindex import SizeGuardedIndex
+        backing = {"a": 1}
+        guard = SizeGuardedIndex()
+        assert guard.get(len(backing), lambda: dict(backing)) == {"a": 1}
+        backing["b"] = 2
+        assert guard.get(len(backing), lambda: dict(backing)) == {"a": 1, "b": 2}
+        del backing["a"]
+        del backing["b"]
+        assert guard.get(len(backing), lambda: dict(backing)) == {}
+
+    def test_same_size_mutation_needs_invalidate(self):
+        from repro.netindex import SizeGuardedIndex
+        backing = {"a": 1}
+        guard = SizeGuardedIndex()
+        assert guard.get(len(backing), lambda: dict(backing)) == {"a": 1}
+        # Replace the key set at unchanged size: not detected by the guard...
+        del backing["a"]
+        backing["b"] = 2
+        assert guard.get(len(backing), lambda: dict(backing)) == {"a": 1}
+        # ...until the consumer invalidates explicitly.
+        guard.invalidate()
+        assert not guard.is_built
+        assert guard.get(len(backing), lambda: dict(backing)) == {"b": 2}
