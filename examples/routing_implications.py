@@ -31,7 +31,8 @@ def main() -> None:
     outcome = study.outcome
 
     campaign = TracerouteCampaign(study.world, study.config.campaign,
-                                  delay_model=study.delay_model)
+                                  delay_model=study.delay_model,
+                                  world_index=study.world_distance_index)
     analysis = RoutingImplicationsAnalysis(
         outcome=outcome,
         dataset=study.dataset,

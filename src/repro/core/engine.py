@@ -19,18 +19,33 @@ names, as data (:data:`STEP_GRAPH`):
   see the whole studied set (the traceroute observables and Steps 4/5, whose
   multi-IXP routers and private adjacencies span IXPs).
 
+Every node also names, as data, the **dataset domains and inputs-bundle
+members it reads** (``data_domains`` / ``data_inputs``) — the versioning
+half of the contract.
+
 Every node result is cached in a shared :class:`StepResultCache` under a
 fingerprint key derived from
 
-``(step name, scope key, config_fingerprint(declared fields), parent keys)``
+``(step name, scope key, config_fingerprint(declared fields),
+data version tokens, parent keys)``
 
-so invalidation is transitive by construction: changing a Step 2 threshold
-re-keys Steps 2, 3, 4, 5 and the baseline but leaves Step 1 and the
-traceroute observables untouched, while changing a Step 5 knob reuses
-everything up to Step 4 verbatim.  Config fields no node declares (e.g. the
-analysis-only ``strong_remote_rtt_ms``) never cause recomputation.
+so invalidation is transitive by construction, along *both* axes:
 
-Equivalence contract (pinned by ``tests/test_core_engine.py``):
+* **configuration** — changing a Step 2 threshold re-keys Steps 2, 3, 4, 5
+  and the baseline but leaves Step 1 and the traceroute observables
+  untouched; config fields no node declares (e.g. the analysis-only
+  ``strong_remote_rtt_ms``) never cause recomputation;
+* **dataset revision** — the data version tokens are the generation stamps
+  of the declared dataset domains (:meth:`ObservedDataset.domain_token`) and
+  inputs-bundle members (:meth:`~repro.versioning.Versioned.version_token`).
+  A journalled mutation re-keys exactly the nodes whose declared data it
+  touches: moving a facility re-keys Steps 3-5 but replays Steps 1-2, the
+  traceroute observables and the baseline from cache; re-mapping a routed
+  prefix re-keys the traceroute observables (and Steps 4-5 through them)
+  while the whole per-IXP layer stays cached.
+
+Equivalence contract (pinned by ``tests/test_core_engine.py`` and
+``tests/test_versioning.py``):
 
 1. **Bit-identical reports** — a node's cached result is the *replayable
    delta* of ``ensure``/``classify`` calls the step made.  The final report
@@ -39,28 +54,45 @@ Equivalence contract (pinned by ``tests/test_core_engine.py``):
    per IXP, Step 4, Step 5), so the assembled
    :class:`~repro.core.types.InferenceReport` equals the monolith's —
    including insertion order.
-2. **Snapshot consistency** — like the other indexed subsystems
-   (``LPMIndex``, ``GeoDistanceIndex``), the cache assumes the inputs bundle
-   does not change during the engine's lifetime; after mutating the dataset
-   or campaigns, build a fresh engine (or ``cache.clear()``).
+2. **Revision consistency** — the engine survives dataset revisions made
+   through the journal-emitting mutators (and campaign appends through the
+   recording mutators): the version tokens in every key guarantee a hit is
+   proof of reusability.  Mutating the inputs *directly* (raw dict pokes at
+   unchanged size) still requires ``invalidate_caches()`` on the mutated
+   container or ``cache.clear()``, exactly like the other indexed
+   subsystems.
 3. **Shared immutables** — outcome containers (lists, dicts) are fresh per
    run, but the objects inside (crossings, adjacencies, routers, feasibility
    analyses, evidence values) are shared with the cache and between runs
    that hit the same keys; consumers must treat them as read-only, exactly
    as they already had to treat `PipelineOutcome` fields under the shared
    ``GeoDistanceIndex``.
+
+:class:`StepResultCache` optionally enforces an LRU entry/byte budget so
+unbounded scenario sweeps cannot grow the cache without limit;
+:meth:`PipelineEngine.cache_eviction_stats` exposes the accounting.
 """
 
 from __future__ import annotations
 
 import enum
 import hashlib
+import sys
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, is_dataclass
 from threading import Lock
 from typing import Callable, NamedTuple, Sequence
 
 from repro.config import InferenceConfig, config_fingerprint
+from repro.datasources.merge import (
+    DOMAIN_AS_FACILITIES,
+    DOMAIN_CAPACITIES,
+    DOMAIN_FACILITY_LOCATIONS,
+    DOMAIN_INTERFACES,
+    DOMAIN_IXP_FACILITIES,
+    DOMAIN_IXP_PREFIXES,
+)
 from repro.core.baseline import RTTBaseline
 from repro.core.inputs import InferenceInputs
 from repro.core.step1_port_capacity import PortCapacityStep
@@ -72,7 +104,7 @@ from repro.core.types import InferenceReport
 from repro.exceptions import InferenceError
 from repro.geo.delay_model import DelayModel
 from repro.geo.distindex import GeoDistanceIndex
-from repro.traixroute.detector import CrossingDetector, IXPCrossing, PrivateAdjacency
+from repro.traixroute.detector import CorpusDetectionIndex, IXPCrossing, PrivateAdjacency
 
 
 @dataclass
@@ -128,6 +160,18 @@ class StepSpec:
         studied.  The traceroute observables scan the whole corpus
         regardless, so they declare ``False`` and are shared across runs
         over different IXP subsets.  Ignored for ``PER_IXP`` nodes.
+    data_domains:
+        The :class:`~repro.datasources.merge.ObservedDataset` domains the
+        node reads (see ``DATASET_DOMAINS``).  Like ``config_fields`` this
+        is a *contract*: the node's result must depend on no other slice of
+        the dataset, because only these domains' generation stamps enter its
+        cache key.
+    data_inputs:
+        The :class:`~repro.core.inputs.InferenceInputs` members (beyond the
+        dataset) whose :meth:`~repro.versioning.Versioned.version_token`
+        enters the node's cache key — ``"ping_result"``, ``"corpus"`` and/or
+        ``"prefix2as"``.  The alias resolver is world-backed and immutable,
+        so no node declares it.
     """
 
     name: str
@@ -136,6 +180,8 @@ class StepSpec:
     requires: tuple[str, ...]
     provides: tuple[str, ...]
     studied_set_sensitive: bool = True
+    data_domains: tuple[str, ...] = ()
+    data_inputs: tuple[str, ...] = ()
 
 
 #: The declared step graph, in the paper's execution order (Section 5.2).
@@ -146,6 +192,7 @@ STEP_GRAPH: tuple[StepSpec, ...] = (
         config_fields=("enable_step1_port_capacity",),
         requires=(),
         provides=("report_delta",),
+        data_domains=(DOMAIN_INTERFACES, DOMAIN_CAPACITIES),
     ),
     StepSpec(
         name="step2",
@@ -153,6 +200,7 @@ STEP_GRAPH: tuple[StepSpec, ...] = (
         config_fields=("atlas_route_server_filter_ms", "lg_rounding_adjustment_ms"),
         requires=(),
         provides=("rtt_summary",),
+        data_inputs=("ping_result",),
     ),
     StepSpec(
         name="step3",
@@ -160,6 +208,12 @@ STEP_GRAPH: tuple[StepSpec, ...] = (
         config_fields=("enable_step3_colocation_rtt", "feasible_facility_tolerance_km"),
         requires=("step1", "step2"),
         provides=("report_delta", "feasible"),
+        data_domains=(
+            DOMAIN_INTERFACES,
+            DOMAIN_IXP_FACILITIES,
+            DOMAIN_AS_FACILITIES,
+            DOMAIN_FACILITY_LOCATIONS,
+        ),
     ),
     StepSpec(
         name="traceroute",
@@ -168,6 +222,8 @@ STEP_GRAPH: tuple[StepSpec, ...] = (
         requires=(),
         provides=("crossings", "private_adjacencies"),
         studied_set_sensitive=False,
+        data_domains=(DOMAIN_IXP_PREFIXES, DOMAIN_INTERFACES, DOMAIN_IXP_FACILITIES),
+        data_inputs=("corpus", "prefix2as"),
     ),
     StepSpec(
         name="step4",
@@ -175,6 +231,12 @@ STEP_GRAPH: tuple[StepSpec, ...] = (
         config_fields=("enable_step4_multi_ixp",),
         requires=("step3", "traceroute"),
         provides=("report_delta", "multi_ixp_routers"),
+        data_domains=(
+            DOMAIN_INTERFACES,
+            DOMAIN_IXP_FACILITIES,
+            DOMAIN_AS_FACILITIES,
+            DOMAIN_FACILITY_LOCATIONS,
+        ),
     ),
     StepSpec(
         name="step5",
@@ -186,6 +248,12 @@ STEP_GRAPH: tuple[StepSpec, ...] = (
         ),
         requires=("step4", "traceroute"),
         provides=("report_delta",),
+        data_domains=(
+            DOMAIN_INTERFACES,
+            DOMAIN_IXP_FACILITIES,
+            DOMAIN_AS_FACILITIES,
+            DOMAIN_FACILITY_LOCATIONS,
+        ),
     ),
     StepSpec(
         name="baseline",
@@ -193,6 +261,7 @@ STEP_GRAPH: tuple[StepSpec, ...] = (
         config_fields=("rtt_baseline_threshold_ms",),
         requires=("step2",),
         provides=("baseline_report",),
+        data_domains=(DOMAIN_INTERFACES,),
     ),
 )
 
@@ -201,50 +270,135 @@ _SPECS: dict[str, StepSpec] = {spec.name: spec for spec in STEP_GRAPH}
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one step label."""
+    """Hit/miss/eviction counters for one step label."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
+
+
+def _estimate_size(value: object, _seen: set[int] | None = None) -> int:
+    """Rough deep size of a cached step result, in bytes.
+
+    Walks tuples/lists/dicts/sets and dataclass fields (the shapes step
+    results are made of), counting every shared object once.  An estimate is
+    all the byte budget needs — the goal is proportional accounting, not
+    exact accounting.
+    """
+    if _seen is None:
+        _seen = set()
+    marker = id(value)
+    if marker in _seen:
+        return 0
+    _seen.add(marker)
+    size = sys.getsizeof(value)
+    if isinstance(value, dict):
+        for key, item in value.items():
+            size += _estimate_size(key, _seen) + _estimate_size(item, _seen)
+    elif isinstance(value, (tuple, list, set, frozenset)):
+        for item in value:
+            size += _estimate_size(item, _seen)
+    elif is_dataclass(value) and not isinstance(value, type):
+        for spec in fields(value):
+            size += _estimate_size(getattr(value, spec.name), _seen)
+    return size
 
 
 class StepResultCache:
     """Shared store of step-node results keyed by fingerprint.
 
-    The cache is safe to share across configurations, pipeline facades and
-    sweep runs over *one* inputs bundle: the key of every entry already
-    encodes everything that may legally influence the result (declared config
-    fields plus upstream keys), so a hit is a proof of reusability.  It is
-    **not** safe to share across different inputs bundles — the inputs are
-    deliberately not part of the key because an engine is bound to one bundle
-    for its lifetime.
+    The cache is safe to share across configurations, pipeline facades,
+    sweep runs and journalled dataset revisions over *one* inputs bundle:
+    the key of every entry already encodes everything that may legally
+    influence the result (declared config fields, the version tokens of the
+    declared data, and upstream keys), so a hit is a proof of reusability.
+    It is **not** safe to share across different inputs bundles — the bundle
+    identity is deliberately not part of the key because an engine is bound
+    to one bundle for its lifetime.
+
+    ``max_entries`` / ``max_bytes`` cap the cache with least-recently-used
+    eviction (the ROADMAP's unbounded-sweep concern): every hit refreshes an
+    entry's recency, inserts evict the coldest entries until the budget
+    holds, and evictions are tallied per step label in :attr:`stats` (an
+    evicted entry is charged to the label that inserted it).  Byte
+    accounting uses a rough deep-size estimate computed once per insert.
 
     Thread-safe for the engine's per-IXP thread pool: lookups and inserts are
     serialised by a lock; concurrent misses on the same key compute
     duplicates (idempotent by construction) and keep the first stored value.
     """
 
-    def __init__(self) -> None:
-        self._entries: dict[str, object] = {}
+    def __init__(
+        self,
+        *,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
+        # key -> (value, label, byte estimate); ordered oldest-used first.
+        self._entries: OrderedDict[str, tuple[object, str, int]] = OrderedDict()
         self._lock = Lock()
         self.stats: dict[str, CacheStats] = {}
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.total_bytes = 0
 
     def get_or_compute(self, label: str, key: str, compute: Callable[[], object]) -> object:
         """The cached value for ``key``, computing (and storing) it if absent."""
         with self._lock:
             stats = self.stats.setdefault(label, CacheStats())
-            if key in self._entries:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
                 stats.hits += 1
-                return self._entries[key]
+                return entry[0]
         value = compute()
+        size = _estimate_size(value) if self.max_bytes is not None else 0
         with self._lock:
             stats.misses += 1
-            return self._entries.setdefault(key, value)
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                return entry[0]
+            self._entries[key] = (value, label, size)
+            self.total_bytes += size
+            self._evict_over_budget()
+            return value
+
+    def _evict_over_budget(self) -> None:
+        """Drop least-recently-used entries until the budget holds (locked).
+
+        The most recently inserted entry is never evicted: a single result
+        larger than the whole byte budget must still be returned (and is
+        simply dropped on the next insert).
+        """
+        while len(self._entries) > 1 and (
+            (self.max_entries is not None and len(self._entries) > self.max_entries)
+            or (self.max_bytes is not None and self.total_bytes > self.max_bytes)
+        ):
+            _, (_, label, size) = self._entries.popitem(last=False)
+            self.total_bytes -= size
+            self.stats.setdefault(label, CacheStats()).evictions += 1
+
+    def eviction_stats(self) -> dict[str, object]:
+        """Budget/eviction accounting snapshot (entries, bytes, per-label)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "total_bytes": self.total_bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "evictions": sum(s.evictions for s in self.stats.values()),
+                "evictions_by_step": {
+                    label: s.evictions for label, s in self.stats.items() if s.evictions
+                },
+            }
 
     def clear(self) -> None:
-        """Drop every entry (required if the inputs bundle mutated)."""
+        """Drop every entry (required if the inputs were mutated directly)."""
         with self._lock:
             self._entries.clear()
             self.stats.clear()
+            self.total_bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -314,15 +468,43 @@ class _KeyResolver:
     """Derives (and memoises) the cache key of every node for one run.
 
     A key digests the node name, its scope token (the IXP id, or the studied
-    tuple for global nodes), the fingerprint of its declared config fields
-    and the keys of its parents — so a key matches exactly when nothing that
-    may legally influence the node's result differs.
+    tuple for global nodes), the fingerprint of its declared config fields,
+    the version tokens of its declared data (dataset domains and
+    inputs-bundle members) and the keys of its parents — so a key matches
+    exactly when nothing that may legally influence the node's result
+    differs.  Version tokens are sampled once per run (the engine contract
+    forbids mutating the inputs mid-run).
     """
 
-    def __init__(self, config: InferenceConfig, ixp_ids: tuple[str, ...]) -> None:
+    def __init__(
+        self,
+        config: InferenceConfig,
+        ixp_ids: tuple[str, ...],
+        inputs: InferenceInputs,
+    ) -> None:
         self._config = config
         self._ixp_ids = ixp_ids
+        self._inputs = inputs
         self._memo: dict[tuple[str, str | None], str] = {}
+        self._data_tokens: dict[str, tuple] = {}
+
+    def _data_token(self, spec: StepSpec) -> tuple:
+        """The version stamps of everything the node declared it reads."""
+        token = self._data_tokens.get(spec.name)
+        if token is None:
+            dataset = self._inputs.dataset
+            token = (
+                tuple(
+                    (domain, dataset.domain_token(domain))
+                    for domain in spec.data_domains
+                ),
+                tuple(
+                    (name, getattr(self._inputs, name).version_token())
+                    for name in spec.data_inputs
+                ),
+            )
+            self._data_tokens[spec.name] = token
+        return token
 
     def key(self, name: str, ixp_id: str | None = None) -> str:
         memo_key = (name, ixp_id)
@@ -344,7 +526,7 @@ class _KeyResolver:
         else:
             scope_token = self._ixp_ids if spec.studied_set_sensitive else "*"
         fingerprint = config_fingerprint(self._config, spec.config_fields)
-        payload = repr((name, scope_token, fingerprint, parents))
+        payload = repr((name, scope_token, fingerprint, self._data_token(spec), parents))
         digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
         self._memo[memo_key] = digest
         return digest
@@ -386,6 +568,8 @@ class PipelineEngine:
         delay_model: DelayModel | None = None,
         geo_index: GeoDistanceIndex | None = None,
         cache: StepResultCache | None = None,
+        cache_max_entries: int | None = None,
+        cache_max_bytes: int | None = None,
         max_workers: int | None = None,
     ) -> None:
         self.inputs = inputs
@@ -393,8 +577,23 @@ class PipelineEngine:
         if geo_index is not None and geo_index.dataset is not inputs.dataset:
             raise InferenceError("geo_index must be built over the same dataset")
         self.geo_index = geo_index if geo_index is not None else inputs.geo_index
-        self.cache = cache if cache is not None else StepResultCache()
+        if cache is None:
+            cache = StepResultCache(
+                max_entries=cache_max_entries, max_bytes=cache_max_bytes)
+        elif cache_max_entries is not None or cache_max_bytes is not None:
+            # A shared cache keeps its own budget; silently dropping the
+            # kwargs would misreport what bounds the sweep.
+            raise InferenceError(
+                "cache budgets must be set on the shared cache itself")
+        self.cache = cache
         self.max_workers = max_workers
+        # Per-path corpus detection, maintained incrementally across
+        # journalled prefix revisions (created on the first traceroute node).
+        self._corpus_detection: CorpusDetectionIndex | None = None
+
+    def cache_eviction_stats(self) -> dict[str, object]:
+        """The step-result cache's LRU budget accounting (ROADMAP open item)."""
+        return self.cache.eviction_stats()
 
     # ------------------------------------------------------------------ #
     def run(self, config: InferenceConfig, ixp_ids: Sequence[str]) -> PipelineOutcome:
@@ -402,7 +601,7 @@ class PipelineEngine:
         if not ixp_ids:
             raise InferenceError("at least one IXP id is required")
         ixp_ids = tuple(ixp_ids)
-        resolver = _KeyResolver(config, ixp_ids)
+        resolver = _KeyResolver(config, ixp_ids, self.inputs)
         cache = self.cache
 
         per_ixp = self._map_per_ixp(config, ixp_ids, resolver)
@@ -521,10 +720,10 @@ class PipelineEngine:
     # Global nodes (traceroute observables, Steps 4-5)
     # ------------------------------------------------------------------ #
     def _compute_traceroute(self):
-        detector = CrossingDetector(self.inputs.dataset, self.inputs.prefix2as)
-        crossings = detector.detect_corpus(self.inputs.corpus)
-        adjacencies = detector.private_adjacencies_corpus(self.inputs.corpus)
-        return crossings, adjacencies
+        if self._corpus_detection is None:
+            self._corpus_detection = CorpusDetectionIndex(
+                self.inputs.dataset, self.inputs.prefix2as, self.inputs.corpus)
+        return self._corpus_detection.results()
 
     def _compute_step4(self, config, ixp_ids, step1_deltas, step3_deltas, crossings):
         report = _RecordingReport()

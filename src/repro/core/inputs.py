@@ -28,6 +28,12 @@ class InferenceInputs:
     injected) so that every pipeline run over the same inputs — scenario
     sweeps rerun the pipeline under many configurations — reuses the same
     memoised distances.
+
+    The bundle's members are generation-stamped
+    (:class:`~repro.versioning.Versioned`): the step-graph engine folds the
+    version tokens of each step's declared data into its cache keys, so one
+    bundle (and one engine) survives journalled dataset and campaign
+    revisions — steps whose declared inputs are untouched replay from cache.
     """
 
     dataset: ObservedDataset

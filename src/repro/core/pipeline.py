@@ -11,8 +11,9 @@ Since the step-graph refactor the execution itself lives in
 :class:`~repro.config.InferenceConfig` to a :class:`PipelineEngine` and
 returns the engine's (bit-identical) :class:`PipelineOutcome`.  Reusing one
 pipeline instance — or passing a shared ``engine`` — carries the engine's
-:class:`~repro.core.engine.StepResultCache` across runs, so repeated runs
-and scenario sweeps skip every step whose fingerprint is unchanged.
+:class:`~repro.core.engine.StepResultCache` across runs, so repeated runs,
+scenario sweeps and journalled dataset revisions skip every step whose
+fingerprint (config fields + data version tokens) is unchanged.
 """
 
 from __future__ import annotations

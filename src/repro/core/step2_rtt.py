@@ -25,7 +25,7 @@ from repro.constants import EXPECTED_INITIAL_TTLS
 from repro.core.inputs import InferenceInputs
 from repro.measurement.results import PingSeries
 from repro.measurement.vantage import VantagePoint
-from repro.netindex import SizeGuardedIndex
+from repro.versioning import GenerationGuardedIndex, Versioned
 
 #: Reply TTLs the match/switch filters accept: the initial TTL itself (reply
 #: generated on the LAN) or one below it (reply that crossed the IXP switch).
@@ -59,7 +59,7 @@ class RTTObservation:
 
 
 @dataclass
-class RTTCampaignSummary:
+class RTTCampaignSummary(Versioned):
     """Everything Step 2 extracted from the raw ping campaign."""
 
     observations: dict[tuple[str, str], RTTObservation] = field(default_factory=dict)
@@ -68,18 +68,19 @@ class RTTCampaignSummary:
     queried_per_vp: dict[str, int] = field(default_factory=dict)
     responsive_per_vp: dict[str, int] = field(default_factory=dict)
 
-    # Lazily built IXP -> observation-keys index, guarded by the size of
-    # ``observations`` (the shared SizeGuardedIndex pattern).  The index
-    # stores keys, not observation objects, so in-place replacement of an
+    # Lazily built IXP -> observation-keys index, guarded by a
+    # ``(generation, len(observations))`` version token
+    # (:class:`~repro.versioning.GenerationGuardedIndex`).  The index stores
+    # keys, not observation objects, so in-place replacement of an
     # observation under an existing key stays visible without a rebuild.
     # Mutations that keep the size unchanged but alter the key set (delete
     # one key, insert another) require :meth:`invalidate_caches`.
-    _keys_by_ixp: SizeGuardedIndex = field(
-        default_factory=SizeGuardedIndex, init=False, repr=False, compare=False)
+    _keys_by_ixp: GenerationGuardedIndex = field(
+        default_factory=GenerationGuardedIndex, init=False, repr=False, compare=False)
 
     def invalidate_caches(self) -> None:
-        """Drop the derived index; the next accessor call rebuilds it."""
-        self._keys_by_ixp.invalidate()
+        """Re-key the derived index; the next accessor call rebuilds it."""
+        self.bump_generation()
 
     def observation_for(self, ixp_id: str, interface_ip: str) -> RTTObservation | None:
         """The kept observation for one interface, if any."""
@@ -93,7 +94,8 @@ class RTTCampaignSummary:
 
     def observations_for_ixp(self, ixp_id: str) -> list[RTTObservation]:
         """All kept observations at one IXP."""
-        index = self._keys_by_ixp.get(len(self.observations), self._build_keys_by_ixp)
+        index = self._keys_by_ixp.get(
+            (self.generation, len(self.observations)), self._build_keys_by_ixp)
         observations = self.observations
         # Tolerate keys deleted since the index was built instead of raising.
         return [observations[key] for key in index.get(ixp_id, ()) if key in observations]

@@ -7,7 +7,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.exceptions import InferenceError
-from repro.netindex import SizeGuardedIndex
+from repro.versioning import GenerationGuardedIndex, Versioned
 
 
 class PeeringClassification(enum.Enum):
@@ -65,30 +65,30 @@ class InferenceResult:
 
 
 @dataclass
-class InferenceReport:
+class InferenceReport(Versioned):
     """The collection of classifications produced by a pipeline run.
 
     :meth:`results_for_as` and :meth:`results_for_ixp` are served from lazily
-    built key indexes guarded by the size of ``results`` (the shared
-    :class:`~repro.netindex.sizeguard.SizeGuardedIndex` pattern): Step 4
+    built key indexes guarded by ``(generation, len(results))`` version
+    tokens (:class:`~repro.versioning.GenerationGuardedIndex`): Step 4
     queries the ASN index once per (router, IXP) combination and sweep
     reporting queries the IXP index once per (scenario, IXP), which on a
     corpus is far too hot for a linear scan.  The indexes store keys, so
     in-place reclassification stays visible without a rebuild; key-set
-    changes at unchanged size require :meth:`invalidate_caches`.
+    changes at unchanged size require :meth:`invalidate_caches` (an opaque
+    generation bump).
     """
 
     results: dict[tuple[str, str], InferenceResult] = field(default_factory=dict)
 
-    _as_index: SizeGuardedIndex = field(
-        default_factory=SizeGuardedIndex, init=False, repr=False, compare=False)
-    _ixp_index: SizeGuardedIndex = field(
-        default_factory=SizeGuardedIndex, init=False, repr=False, compare=False)
+    _as_index: GenerationGuardedIndex = field(
+        default_factory=GenerationGuardedIndex, init=False, repr=False, compare=False)
+    _ixp_index: GenerationGuardedIndex = field(
+        default_factory=GenerationGuardedIndex, init=False, repr=False, compare=False)
 
     def invalidate_caches(self) -> None:
-        """Drop the derived indexes; the next accessor call rebuilds them."""
-        self._as_index.invalidate()
-        self._ixp_index.invalidate()
+        """Re-key the derived indexes; the next accessor call rebuilds them."""
+        self.bump_generation()
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -149,14 +149,16 @@ class InferenceReport:
 
     def results_for_ixp(self, ixp_id: str) -> list[InferenceResult]:
         """All results at one IXP."""
-        index = self._ixp_index.get(len(self.results), self._build_ixp_index)
+        index = self._ixp_index.get(
+            (self.generation, len(self.results)), self._build_ixp_index)
         results = self.results
         # Tolerate keys deleted since the index was built instead of raising.
         return [results[key] for key in index.get(ixp_id, ()) if key in results]
 
     def results_for_as(self, asn: int, ixp_id: str | None = None) -> list[InferenceResult]:
         """All results for one member AS, optionally restricted to an IXP."""
-        index = self._as_index.get(len(self.results), self._build_as_index)
+        index = self._as_index.get(
+            (self.generation, len(self.results)), self._build_as_index)
         results = self.results
         # Tolerate keys deleted since the index was built instead of raising.
         return [

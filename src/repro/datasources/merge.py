@@ -9,6 +9,19 @@ re-implements exactly that merge and produces:
   pipeline is allowed to use (interfaces, prefixes, colocation, coordinates,
   port capacities, per-AS attributes), and
 * a :class:`MergeStatistics` record that regenerates Table 1.
+
+The dataset is **generation-stamped** (:class:`~repro.versioning.Versioned`).
+Every mutation that goes through the journal-emitting mutators
+(:meth:`ObservedDataset.set_ixp_prefix`, :meth:`~ObservedDataset.set_interface`,
+the colocation/capacity/location setters) records a typed
+:class:`~repro.versioning.Change` under one of the :data:`DATASET_DOMAINS`,
+bumps the matching domain generation, and patches the derived indexes
+incrementally where possible — so continuous feed refreshes re-key exactly
+the consumers they can affect instead of tearing every cache down.
+:class:`DatasetMerger` itself writes through these mutators, which makes
+*re-merging* updated snapshots into an existing dataset
+(:meth:`DatasetMerger.merge` with ``into=``) emit a journal of the actual
+differences.
 """
 
 from __future__ import annotations
@@ -18,8 +31,9 @@ from dataclasses import dataclass, field
 from repro.datasources.records import SourceName, SourceSnapshot
 from repro.exceptions import DataSourceError
 from repro.geo.coordinates import GeoPoint
-from repro.netindex import LPMIndex, SizeGuardedIndex
+from repro.netindex import LPMDeltaView, LPMIndex, apply_lpm_delta
 from repro.topology.entities import TrafficLevel
+from repro.versioning import Change, ChangeKind, GenerationGuardedIndex, Versioned
 
 #: Preference order used to resolve conflicting records (highest first).
 SOURCE_PREFERENCE: tuple[SourceName, ...] = (
@@ -27,6 +41,44 @@ SOURCE_PREFERENCE: tuple[SourceName, ...] = (
     SourceName.HE,
     SourceName.PDB,
     SourceName.PCH,
+)
+
+# --------------------------------------------------------------------- #
+# Versioning domains — the named slices of the dataset that journalled
+# mutations are recorded under.  Consumers (the geo-distance index, the
+# step-graph engine's cache keys) subscribe to exactly the domains that can
+# affect them.
+# --------------------------------------------------------------------- #
+DOMAIN_IXP_PREFIXES = "ixp_prefixes"
+DOMAIN_INTERFACES = "interfaces"
+DOMAIN_IXP_FACILITIES = "ixp_facilities"
+DOMAIN_AS_FACILITIES = "as_facilities"
+DOMAIN_FACILITY_LOCATIONS = "facility_locations"
+DOMAIN_CAPACITIES = "capacities"
+DOMAIN_ATTRIBUTES = "attributes"
+
+DATASET_DOMAINS: tuple[str, ...] = (
+    DOMAIN_IXP_PREFIXES,
+    DOMAIN_INTERFACES,
+    DOMAIN_IXP_FACILITIES,
+    DOMAIN_AS_FACILITIES,
+    DOMAIN_FACILITY_LOCATIONS,
+    DOMAIN_CAPACITIES,
+    DOMAIN_ATTRIBUTES,
+)
+
+#: The dict fields :meth:`ObservedDataset.set_attribute` may write (all
+#: journalled under :data:`DOMAIN_ATTRIBUTES`).
+_ATTRIBUTE_FIELDS: frozenset[str] = frozenset(
+    {"traffic_levels", "user_populations", "customer_cone_sizes", "countries"}
+)
+
+#: The domains the geometry of Steps 3-5 depends on; the
+#: :class:`~repro.geo.distindex.GeoDistanceIndex` replays exactly these.
+GEO_DOMAINS: tuple[str, ...] = (
+    DOMAIN_FACILITY_LOCATIONS,
+    DOMAIN_IXP_FACILITIES,
+    DOMAIN_AS_FACILITIES,
 )
 
 
@@ -91,17 +143,24 @@ class MergeStatistics:
 
 
 @dataclass
-class ObservedDataset:
+class ObservedDataset(Versioned):
     """The merged view of the world that inference and analysis consume.
 
     The hot lookups (:meth:`ixp_for_ip`, :meth:`interfaces_of_ixp`,
     :meth:`members_of_ixp`) are served from lazily built indexes over the
-    public dicts, held in shared
-    :class:`~repro.netindex.sizeguard.SizeGuardedIndex` guards.  The indexes
-    rebuild automatically whenever the backing dict *grows or shrinks*; code
-    that replaces values in place without changing the dict's size must call
-    :meth:`invalidate_caches` afterwards (as :class:`DatasetMerger` does
-    after a merge).
+    public dicts, guarded by ``(domain generation, size)`` version tokens
+    (:class:`~repro.versioning.GenerationGuardedIndex`).  The staleness
+    contract layers two paths:
+
+    * **journalled mutators** (``set_*`` / ``add_*`` / ``remove_*``) record a
+      typed change, bump the matching domain generation and — for the LAN
+      LPM — patch the built index incrementally, so *every* mutation through
+      them is visible immediately, including in-place value replacement at
+      unchanged size (the historical size-guard trap);
+    * **direct dict mutation** (the legacy path) keeps the legacy semantics:
+      growth and shrinkage are detected by the size half of the token, and
+      same-size edits require :meth:`invalidate_caches` (now an opaque
+      generation bump that re-keys everything).
     """
 
     ixp_prefixes: dict[str, str] = field(default_factory=dict)
@@ -117,23 +176,227 @@ class ObservedDataset:
     customer_cone_sizes: dict[int, int] = field(default_factory=dict)
     countries: dict[int, str] = field(default_factory=dict)
 
-    # Size-guarded lookup indexes; never part of equality or repr.
-    _lan_index: SizeGuardedIndex = field(
-        default_factory=SizeGuardedIndex, init=False, repr=False, compare=False)
-    _ixp_views: SizeGuardedIndex = field(
-        default_factory=SizeGuardedIndex, init=False, repr=False, compare=False)
+    # Derived lookup indexes; never part of equality or repr.  The LAN LPM
+    # state is one atomically swapped (token, view) tuple so a reader never
+    # observes a fresh token with a stale view.
+    _lan_state: tuple[tuple[int, int], LPMIndex | LPMDeltaView] | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _ixp_views: GenerationGuardedIndex = field(
+        default_factory=GenerationGuardedIndex, init=False, repr=False, compare=False)
     _ixp_members: dict[str, set[int]] = field(
         default_factory=dict, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
-    # Interface / prefix lookups
+    # Versioning
     # ------------------------------------------------------------------ #
     def invalidate_caches(self) -> None:
-        """Drop every derived index; the next lookup rebuilds them."""
-        self._lan_index.invalidate()
-        self._ixp_views.invalidate()
+        """Opaquely bump the generation; every derived index re-keys.
+
+        Required only after mutating the public dicts *directly* without a
+        size change; the journal-emitting mutators never need it.
+        """
+        self.bump_generation()
+        self._lan_state = None
         self._ixp_members = {}
 
+    def domain_token(self, domain: str) -> tuple[int, int]:
+        """``(domain generation, size hint)`` version token for one domain.
+
+        The size hint preserves the legacy automatic detection of direct
+        dict growth/shrinkage; the generation half covers every journalled
+        mutation, including same-size replacement.
+        """
+        return (self.domain_generation(domain), self._domain_size(domain))
+
+    def _domain_size(self, domain: str) -> int:
+        if domain == DOMAIN_IXP_PREFIXES:
+            return len(self.ixp_prefixes)
+        if domain == DOMAIN_INTERFACES:
+            return len(self.interface_ixp) + len(self.interface_asn)
+        if domain == DOMAIN_IXP_FACILITIES:
+            return sum(len(facilities) for facilities in self.ixp_facilities.values())
+        if domain == DOMAIN_AS_FACILITIES:
+            return sum(len(facilities) for facilities in self.as_facilities.values())
+        if domain == DOMAIN_FACILITY_LOCATIONS:
+            return len(self.facility_locations)
+        if domain == DOMAIN_CAPACITIES:
+            return len(self.port_capacities) + len(self.min_physical_capacity)
+        if domain == DOMAIN_ATTRIBUTES:
+            return (
+                len(self.traffic_levels)
+                + len(self.user_populations)
+                + len(self.customer_cone_sizes)
+                + len(self.countries)
+            )
+        # A typo in a StepSpec.data_domains declaration must fail loudly, not
+        # produce a wrong-but-valid token (mirrors config_fingerprint).
+        raise DataSourceError(f"unknown dataset domain {domain!r}")
+
+    # ------------------------------------------------------------------ #
+    # Journal-emitting mutators
+    # ------------------------------------------------------------------ #
+    def set_ixp_prefix(self, prefix: str, ixp_id: str) -> bool:
+        """Register (or re-map) one peering-LAN prefix; True if anything changed.
+
+        A re-map at unchanged size is patched straight into the built LAN
+        LPM view (or compacts it past the overlay threshold) — no manual
+        invalidation, no full teardown.
+        """
+        old = self.ixp_prefixes.get(prefix)
+        if old == ixp_id:
+            return False
+        kind = ChangeKind.ADD if prefix not in self.ixp_prefixes else ChangeKind.REPLACE
+        state = self._lan_state
+        # The built view may only be patched if it is current *before* this
+        # mutation; a stale view (a direct dict poke since it was built)
+        # must be rebuilt, or the patch would stamp missing entries as fresh.
+        before_token = self.domain_token(DOMAIN_IXP_PREFIXES)
+        self.ixp_prefixes[prefix] = ixp_id
+        self.record_change(Change(kind, DOMAIN_IXP_PREFIXES, prefix, old, ixp_id))
+        if state is None or state[0] != before_token:
+            self._lan_state = None
+            return True
+        patched = apply_lpm_delta(state[1], prefix, ixp_id)
+        if patched is None:  # compaction: the next lookup rebuilds
+            self._lan_state = None
+        else:
+            self._lan_state = (self.domain_token(DOMAIN_IXP_PREFIXES), patched)
+        return True
+
+    def remove_ixp_prefix(self, prefix: str) -> bool:
+        """Drop one peering-LAN prefix; the LAN LPM rebuilds on next lookup."""
+        if prefix not in self.ixp_prefixes:
+            return False
+        old = self.ixp_prefixes.pop(prefix)
+        self.record_change(
+            Change(ChangeKind.REMOVE, DOMAIN_IXP_PREFIXES, prefix, old, None))
+        self._lan_state = None
+        return True
+
+    def set_interface(self, ip: str, ixp_id: str, asn: int) -> bool:
+        """Register (or re-own) one IXP member interface; True if changed."""
+        old = (self.interface_ixp.get(ip), self.interface_asn.get(ip))
+        if old == (ixp_id, asn):
+            return False
+        kind = ChangeKind.ADD if ip not in self.interface_ixp else ChangeKind.REPLACE
+        self.interface_ixp[ip] = ixp_id
+        self.interface_asn[ip] = asn
+        self.record_change(
+            Change(kind, DOMAIN_INTERFACES, ip, old, (ixp_id, asn)))
+        return True
+
+    def remove_interface(self, ip: str) -> bool:
+        """Drop one member interface from both interface dicts."""
+        if ip not in self.interface_ixp and ip not in self.interface_asn:
+            return False
+        old = (self.interface_ixp.pop(ip, None), self.interface_asn.pop(ip, None))
+        self.record_change(Change(ChangeKind.REMOVE, DOMAIN_INTERFACES, ip, old, None))
+        return True
+
+    def set_facility_location(self, facility_id: str, location: GeoPoint) -> bool:
+        """Record (or move) a facility's coordinates; True if changed."""
+        old = self.facility_locations.get(facility_id)
+        if old == location:
+            return False
+        kind = (
+            ChangeKind.ADD
+            if facility_id not in self.facility_locations
+            else ChangeKind.REPLACE
+        )
+        self.facility_locations[facility_id] = location
+        self.record_change(
+            Change(kind, DOMAIN_FACILITY_LOCATIONS, facility_id, old, location))
+        return True
+
+    def add_ixp_facility(self, ixp_id: str, facility_id: str) -> bool:
+        """Add one facility to an IXP's observed footprint; True if new."""
+        facilities = self.ixp_facilities.setdefault(ixp_id, set())
+        if facility_id in facilities:
+            return False
+        facilities.add(facility_id)
+        self.record_change(
+            Change(ChangeKind.ADD, DOMAIN_IXP_FACILITIES, (ixp_id, facility_id)))
+        return True
+
+    def remove_ixp_facility(self, ixp_id: str, facility_id: str) -> bool:
+        """Drop one facility from an IXP's observed footprint."""
+        facilities = self.ixp_facilities.get(ixp_id)
+        if facilities is None or facility_id not in facilities:
+            return False
+        facilities.discard(facility_id)
+        self.record_change(
+            Change(ChangeKind.REMOVE, DOMAIN_IXP_FACILITIES, (ixp_id, facility_id)))
+        return True
+
+    def add_as_facility(self, asn: int, facility_id: str) -> bool:
+        """Add one facility to a member AS's observed footprint; True if new."""
+        facilities = self.as_facilities.setdefault(asn, set())
+        if facility_id in facilities:
+            return False
+        facilities.add(facility_id)
+        self.record_change(
+            Change(ChangeKind.ADD, DOMAIN_AS_FACILITIES, (asn, facility_id)))
+        return True
+
+    def remove_as_facility(self, asn: int, facility_id: str) -> bool:
+        """Drop one facility from a member AS's observed footprint."""
+        facilities = self.as_facilities.get(asn)
+        if facilities is None or facility_id not in facilities:
+            return False
+        facilities.discard(facility_id)
+        self.record_change(
+            Change(ChangeKind.REMOVE, DOMAIN_AS_FACILITIES, (asn, facility_id)))
+        return True
+
+    def set_port_capacity(self, ixp_id: str, asn: int, capacity_mbps: int) -> bool:
+        """Record a member's observed port capacity at one IXP."""
+        key = (ixp_id, asn)
+        old = self.port_capacities.get(key)
+        if old == capacity_mbps:
+            return False
+        kind = ChangeKind.ADD if key not in self.port_capacities else ChangeKind.REPLACE
+        self.port_capacities[key] = capacity_mbps
+        self.record_change(Change(kind, DOMAIN_CAPACITIES, key, old, capacity_mbps))
+        return True
+
+    def set_min_capacity(self, ixp_id: str, capacity_mbps: int) -> bool:
+        """Record the minimum physical port capacity an IXP sells directly."""
+        old = self.min_physical_capacity.get(ixp_id)
+        if old == capacity_mbps:
+            return False
+        kind = (
+            ChangeKind.ADD
+            if ixp_id not in self.min_physical_capacity
+            else ChangeKind.REPLACE
+        )
+        self.min_physical_capacity[ixp_id] = capacity_mbps
+        self.record_change(
+            Change(kind, DOMAIN_CAPACITIES, ("min", ixp_id), old, capacity_mbps))
+        return True
+
+    def set_attribute(self, attribute: str, key: object, value: object) -> bool:
+        """Record one analysis-only attribute (traffic level, population...).
+
+        Only the analysis-attribute dicts are legal here: routing any other
+        field through this mutator would journal it under the wrong domain
+        and silently desynchronise every journal consumer.
+        """
+        if attribute not in _ATTRIBUTE_FIELDS:
+            raise DataSourceError(
+                f"{attribute!r} is not an analysis attribute; use its dedicated mutator")
+        backing: dict = getattr(self, attribute)
+        old = backing.get(key)
+        if old == value:
+            return False
+        kind = ChangeKind.ADD if key not in backing else ChangeKind.REPLACE
+        backing[key] = value
+        self.record_change(
+            Change(kind, DOMAIN_ATTRIBUTES, (attribute, key), old, value))
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Interface / prefix lookups
+    # ------------------------------------------------------------------ #
     def ixp_ids(self) -> list[str]:
         """All IXPs present in the merged dataset."""
         return sorted(set(self.ixp_prefixes.values()) | set(self.ixp_facilities))
@@ -151,8 +414,9 @@ class ObservedDataset:
         return by_ixp
 
     def _interfaces_by_ixp(self) -> dict[str, dict[str, int]]:
-        """IXP -> (IP -> member ASN) view, rebuilt when interfaces change."""
-        return self._ixp_views.get(len(self.interface_ixp), self._build_interface_views)
+        """IXP -> (IP -> member ASN) view, re-keyed when interfaces change."""
+        return self._ixp_views.get(
+            self.domain_token(DOMAIN_INTERFACES), self._build_interface_views)
 
     def interfaces_of_ixp(self, ixp_id: str) -> dict[str, int]:
         """IP -> member ASN for one IXP."""
@@ -183,9 +447,12 @@ class ObservedDataset:
         misclassified addresses whenever a more-specific LAN nested inside a
         broader registered prefix.
         """
-        index = self._lan_index.get(
-            len(self.ixp_prefixes), lambda: LPMIndex(self.ixp_prefixes))
-        return index.lookup(ip)
+        token = self.domain_token(DOMAIN_IXP_PREFIXES)
+        state = self._lan_state
+        if state is None or state[0] != token:
+            state = (token, LPMIndex(self.ixp_prefixes))
+            self._lan_state = state
+        return state[1].lookup(ip)
 
     # ------------------------------------------------------------------ #
     # Colocation lookups
@@ -223,7 +490,13 @@ class ObservedDataset:
 
 
 class DatasetMerger:
-    """Merges source snapshots with the paper's preference order."""
+    """Merges source snapshots with the paper's preference order.
+
+    All writes go through the dataset's journal-emitting mutators, so a merge
+    into an *existing* dataset (``merge(into=dataset)`` — the continuous
+    feed-refresh path) emits a journal of exactly the records that actually
+    changed, letting every downstream index patch itself incrementally.
+    """
 
     def __init__(self, snapshots: list[SourceSnapshot]) -> None:
         if not snapshots:
@@ -231,9 +504,19 @@ class DatasetMerger:
         self.snapshots = snapshots
         self._by_source = {snapshot.source: snapshot for snapshot in snapshots}
 
-    def merge(self) -> tuple[ObservedDataset, MergeStatistics]:
-        """Merge every snapshot into one observed dataset plus Table 1 stats."""
-        dataset = ObservedDataset()
+    def merge(
+        self, into: ObservedDataset | None = None
+    ) -> tuple[ObservedDataset, MergeStatistics]:
+        """Merge every snapshot into one observed dataset plus Table 1 stats.
+
+        ``into`` re-merges onto an existing dataset: records that resolve to
+        their current values are no-ops (no generation bump), and only the
+        true differences enter the journal.  Records absent from the new
+        snapshots are *not* retracted — the sources are additive views, and
+        retraction semantics belong to the caller (use the ``remove_*``
+        mutators).
+        """
+        dataset = into if into is not None else ObservedDataset()
         statistics = MergeStatistics()
 
         ordered = [s for s in SOURCE_PREFERENCE if s in self._by_source]
@@ -244,9 +527,6 @@ class DatasetMerger:
         self._merge_colocation(dataset, ordered)
         self._merge_capacities(dataset, ordered)
         self._merge_attributes(dataset, ordered)
-        # The merge mutates the backing dicts directly (including in-place
-        # value replacements); start consumers from a clean index state.
-        dataset.invalidate_caches()
         return dataset, statistics
 
     # ------------------------------------------------------------------ #
@@ -271,7 +551,7 @@ class DatasetMerger:
 
         for prefix, per_source in prefix_values.items():
             chosen_source = next(s for s in ordered if s in per_source)
-            dataset.ixp_prefixes[prefix] = per_source[chosen_source]
+            dataset.set_ixp_prefix(prefix, per_source[chosen_source])
             for source, value in per_source.items():
                 contribution = statistics.contributions[source]
                 contribution.prefixes_total += 1
@@ -283,8 +563,7 @@ class DatasetMerger:
         for ip, per_source in interface_values.items():
             chosen_source = next(s for s in ordered if s in per_source)
             ixp_id, asn = per_source[chosen_source]
-            dataset.interface_ixp[ip] = ixp_id
-            dataset.interface_asn[ip] = asn
+            dataset.set_interface(ip, ixp_id, asn)
             for source, value in per_source.items():
                 contribution = statistics.contributions[source]
                 contribution.interfaces_total += 1
@@ -297,15 +576,22 @@ class DatasetMerger:
         statistics.total_interfaces = len(dataset.interface_ixp)
 
     def _merge_facilities(self, dataset: ObservedDataset, sources: list[SourceName]) -> None:
+        # Resolve each key to its final value *before* writing: a re-merge
+        # into an existing dataset must be a generation no-op for keys whose
+        # resolved value is unchanged, so intermediate lower-preference
+        # values may never touch the mutators.
         # PeeringDB provides the base coordinates; Inflect corrections win.
+        resolved: dict[str, GeoPoint] = {}
         for source in (SourceName.PCH, SourceName.PDB, SourceName.HE, SourceName.WEBSITE):
             if source not in self._by_source:
                 continue
             for record in self._by_source[source].facilities:
-                dataset.facility_locations[record.facility_id] = record.location
+                resolved[record.facility_id] = record.location
         if SourceName.INFLECT in self._by_source:
             for record in self._by_source[SourceName.INFLECT].facilities:
-                dataset.facility_locations[record.facility_id] = record.location
+                resolved[record.facility_id] = record.location
+        for facility_id, location in resolved.items():
+            dataset.set_facility_location(facility_id, location)
 
     def _merge_colocation(self, dataset: ObservedDataset, ordered: list[SourceName]) -> None:
         inflect = self._by_source.get(SourceName.INFLECT)
@@ -314,25 +600,34 @@ class DatasetMerger:
             snapshots.append(inflect)
         for snapshot in snapshots:
             for ixp_id, facility_ids in snapshot.ixp_facilities.items():
-                dataset.ixp_facilities.setdefault(ixp_id, set()).update(facility_ids)
+                for facility_id in facility_ids:
+                    dataset.add_ixp_facility(ixp_id, facility_id)
             for record in snapshot.as_facilities:
-                dataset.as_facilities.setdefault(record.asn, set()).add(record.facility_id)
+                dataset.add_as_facility(record.asn, record.facility_id)
 
     def _merge_capacities(self, dataset: ObservedDataset, ordered: list[SourceName]) -> None:
-        # Lower-preference sources first so higher-preference records overwrite.
+        # Resolve first (lower-preference sources first so higher-preference
+        # records overwrite), write once — see _merge_facilities.
+        port: dict[tuple[str, int], int] = {}
+        minimum: dict[str, int] = {}
         for source in reversed(ordered):
             snapshot = self._by_source[source]
             for record in snapshot.port_capacities:
-                dataset.port_capacities[(record.ixp_id, record.asn)] = record.capacity_mbps
+                port[(record.ixp_id, record.asn)] = record.capacity_mbps
             for ixp_id, capacity in snapshot.min_physical_capacity.items():
-                dataset.min_physical_capacity[ixp_id] = capacity
+                minimum[ixp_id] = capacity
+        for (ixp_id, asn), capacity in port.items():
+            dataset.set_port_capacity(ixp_id, asn, capacity)
+        for ixp_id, capacity in minimum.items():
+            dataset.set_min_capacity(ixp_id, capacity)
 
     def _merge_attributes(self, dataset: ObservedDataset, ordered: list[SourceName]) -> None:
-        for source in reversed(ordered):
-            snapshot = self._by_source[source]
-            dataset.traffic_levels.update(snapshot.traffic_levels)
-            dataset.user_populations.update(snapshot.user_populations)
-            dataset.countries.update(snapshot.countries)
+        for attribute in ("traffic_levels", "user_populations", "countries"):
+            resolved: dict[int, object] = {}
+            for source in reversed(ordered):
+                resolved.update(getattr(self._by_source[source], attribute))
+            for key, value in resolved.items():
+                dataset.set_attribute(attribute, key, value)
 
 
 def build_observed_dataset(

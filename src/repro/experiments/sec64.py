@@ -11,7 +11,8 @@ from repro.study import RemotePeeringStudy
 def run(study: RemotePeeringStudy, *, max_pairs: int = 1500) -> ExperimentResult:
     """Regenerate the hot-potato / detour statistics of Section 6.4."""
     campaign = TracerouteCampaign(study.world, study.config.campaign,
-                                  delay_model=study.delay_model)
+                                  delay_model=study.delay_model,
+                                  world_index=study.world_distance_index)
     analysis = RoutingImplicationsAnalysis(
         outcome=study.outcome,
         dataset=study.dataset,

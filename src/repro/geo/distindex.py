@@ -40,10 +40,18 @@ Invariants consumers rely on:
 2. **Inclusive interval semantics** — :meth:`DistanceProfile.within` returns
    facilities with ``min_km <= distance <= max_km`` (``bisect_left`` /
    ``bisect_right``), matching the seed's inclusive ring comparison.
-3. **Snapshot consistency** — the index assumes the dataset's facility
-   locations and colocation sets do not change during its lifetime.  After
-   mutating the dataset, call :meth:`GeoDistanceIndex.invalidate` (or build
-   a fresh index); memoised entries are never recomputed otherwise.
+3. **Journalled revision consistency** — the index tracks the dataset's
+   generation stamp (:class:`~repro.versioning.Versioned`).  Mutations made
+   through the dataset's journal-emitting mutators are replayed lazily on
+   the next lookup, evicting **only the memos a change can touch** (the
+   point/pair distances, profiles and spans involving a moved facility, the
+   profiles/spans of a re-footprinted IXP or AS, the majority votes of a
+   re-footprinted AS) instead of tearing the whole index down.  Mutating the
+   dataset's dicts *directly* bumps nothing — that legacy path still
+   requires :meth:`GeoDistanceIndex.invalidate` (or a fresh index), exactly
+   as before.  An opaque bump (``invalidate_caches()``) or a truncated
+   journal falls back to wholesale invalidation, so the index is never
+   stale, only occasionally over-evicted.
 """
 
 from __future__ import annotations
@@ -51,12 +59,18 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from collections import Counter
 from dataclasses import dataclass
+from threading import Lock
 from typing import TYPE_CHECKING
 
 from repro.geo.coordinates import GeoPoint, geodesic_distance_km
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (merge imports geo)
     from repro.datasources.merge import ObservedDataset
+    from repro.versioning import Change
+
+#: Journalled changes beyond which a replay stops being cheaper than a
+#: wholesale invalidation (each eviction scans the memo tables once).
+SELECTIVE_EVICTION_LIMIT = 64
 
 
 @dataclass(frozen=True)
@@ -87,6 +101,10 @@ class GeoDistanceIndex:
 
     __slots__ = (
         "_dataset",
+        "_sync_lock",
+        "_synced_generation",
+        "incremental_evictions",
+        "wholesale_invalidations",
         "_point_km",
         "_pair_km",
         "_ixp_profiles",
@@ -99,6 +117,12 @@ class GeoDistanceIndex:
 
     def __init__(self, dataset: "ObservedDataset") -> None:
         self._dataset = dataset
+        self._sync_lock = Lock()
+        self._synced_generation = getattr(dataset, "generation", 0)
+        #: Journalled changes absorbed by selective eviction (accounting).
+        self.incremental_evictions = 0
+        #: Times the whole index was dropped (manual, opaque or truncated).
+        self.wholesale_invalidations = 0
         self._point_km: dict[tuple[GeoPoint, str], float | None] = {}
         self._pair_km: dict[tuple[str, str], float | None] = {}
         self._ixp_profiles: dict[tuple[GeoPoint, str], DistanceProfile] = {}
@@ -114,7 +138,12 @@ class GeoDistanceIndex:
         return self._dataset
 
     def invalidate(self) -> None:
-        """Drop every memo; required after the backing dataset mutates."""
+        """Drop every memo and resynchronise with the dataset's generation.
+
+        Required after mutating the dataset's dicts *directly*; journalled
+        mutations are absorbed automatically (and more selectively) by the
+        lazy replay in :meth:`_sync`.
+        """
         self._point_km.clear()
         self._pair_km.clear()
         self._ixp_profiles.clear()
@@ -123,12 +152,114 @@ class GeoDistanceIndex:
         self._as_ixp_spans.clear()
         self._common_spans.clear()
         self._majority_votes.clear()
+        self._synced_generation = getattr(self._dataset, "generation", 0)
+        self.wholesale_invalidations += 1
+
+    # ------------------------------------------------------------------ #
+    # Journal synchronisation
+    # ------------------------------------------------------------------ #
+    def _sync(self) -> None:
+        """Absorb journalled dataset changes since the last lookup.
+
+        The fast path is one integer comparison.  When the dataset moved on,
+        the geo-relevant slice of its journal is replayed change by change,
+        evicting only the memos each change can touch; an unavailable replay
+        (opaque bump, truncated journal) or an oversized batch falls back to
+        wholesale invalidation.
+        """
+        dataset = self._dataset
+        if dataset.generation == self._synced_generation:
+            return
+        # Per-IXP engine nodes run on a thread pool; only one thread may
+        # replay (the fast path above stays lock-free).
+        with self._sync_lock:
+            generation = dataset.generation
+            if generation == self._synced_generation:
+                return
+            from repro.datasources.merge import GEO_DOMAINS
+
+            changes = dataset.journal.since(self._synced_generation, GEO_DOMAINS)
+            if changes is None or len(changes) > SELECTIVE_EVICTION_LIMIT:
+                self.invalidate()
+                return
+            for change in changes:
+                self._evict_for(change)
+                self.incremental_evictions += 1
+            self._synced_generation = generation
+
+    def _evict_for(self, change: "Change") -> None:
+        from repro.datasources.merge import (
+            DOMAIN_AS_FACILITIES,
+            DOMAIN_FACILITY_LOCATIONS,
+            DOMAIN_IXP_FACILITIES,
+        )
+
+        if change.domain == DOMAIN_FACILITY_LOCATIONS:
+            self._evict_facility(change.key)
+        elif change.domain == DOMAIN_IXP_FACILITIES:
+            ixp_id, _facility_id = change.key
+            self._evict_ixp(ixp_id)
+        elif change.domain == DOMAIN_AS_FACILITIES:
+            asn, _facility_id = change.key
+            self._evict_as(asn)
+
+    def _evict_facility(self, facility_id: str) -> None:
+        """A facility gained, lost or moved coordinates."""
+        for key in [k for k in self._point_km if k[1] == facility_id]:
+            self._point_km.pop(key, None)
+        for key in [k for k in self._pair_km if facility_id in k]:
+            self._pair_km.pop(key, None)
+        # Every footprint containing the facility saw its geometry change.
+        ixps = {
+            ixp_id
+            for ixp_id, facilities in self._dataset.ixp_facilities.items()
+            if facility_id in facilities
+        }
+        ases = {
+            asn
+            for asn, facilities in self._dataset.as_facilities.items()
+            if facility_id in facilities
+        }
+        for key in [k for k in self._ixp_profiles if k[1] in ixps]:
+            self._ixp_profiles.pop(key, None)
+        for key in [k for k in self._as_profiles if k[1] in ases]:
+            self._as_profiles.pop(key, None)
+        for key in [k for k in self._ixp_spans if k[0] in ixps or k[1] in ixps]:
+            self._ixp_spans.pop(key, None)
+        for key in [k for k in self._as_ixp_spans if k[0] in ases or k[1] in ixps]:
+            self._as_ixp_spans.pop(key, None)
+        for key in [k for k in self._common_spans if k[0] in ases or k[1] in ixps]:
+            self._common_spans.pop(key, None)
+        # Majority votes depend only on colocation sets, never on geometry.
+
+    def _evict_ixp(self, ixp_id: str) -> None:
+        """An IXP's observed facility footprint changed."""
+        for key in [k for k in self._ixp_profiles if k[1] == ixp_id]:
+            self._ixp_profiles.pop(key, None)
+        for key in [k for k in self._ixp_spans if ixp_id in k]:
+            self._ixp_spans.pop(key, None)
+        for key in [k for k in self._as_ixp_spans if k[1] == ixp_id]:
+            self._as_ixp_spans.pop(key, None)
+        for key in [k for k in self._common_spans if k[1] == ixp_id]:
+            self._common_spans.pop(key, None)
+
+    def _evict_as(self, asn: int) -> None:
+        """A member AS's observed facility footprint changed."""
+        for key in [k for k in self._as_profiles if k[1] == asn]:
+            self._as_profiles.pop(key, None)
+        for key in [k for k in self._as_ixp_spans if k[0] == asn]:
+            self._as_ixp_spans.pop(key, None)
+        for key in [k for k in self._common_spans if k[0] == asn]:
+            self._common_spans.pop(key, None)
+        for key in [k for k in self._majority_votes if asn in k]:
+            self._majority_votes.pop(key, None)
 
     # ------------------------------------------------------------------ #
     # Point / pair distances
     # ------------------------------------------------------------------ #
     def facility_distance_km(self, point: GeoPoint, facility_id: str) -> float | None:
         """Distance from a point to a facility (``None`` if unlocated)."""
+        self._sync()
         key = (point, facility_id)
         if key in self._point_km:
             return self._point_km[key]
@@ -139,6 +270,7 @@ class GeoDistanceIndex:
 
     def pair_distance_km(self, facility_a: str, facility_b: str) -> float | None:
         """Distance between two facilities (``None`` if either is unlocated)."""
+        self._sync()
         key = (facility_a, facility_b) if facility_a <= facility_b else (
             facility_b, facility_a)
         if key in self._pair_km:
@@ -155,6 +287,7 @@ class GeoDistanceIndex:
     # ------------------------------------------------------------------ #
     def ixp_profile(self, point: GeoPoint, ixp_id: str) -> DistanceProfile:
         """Sorted distances from a point to one IXP's facilities."""
+        self._sync()
         key = (point, ixp_id)
         profile = self._ixp_profiles.get(key)
         if profile is None:
@@ -164,6 +297,7 @@ class GeoDistanceIndex:
 
     def as_profile(self, point: GeoPoint, asn: int) -> DistanceProfile:
         """Sorted distances from a point to one member AS's facilities."""
+        self._sync()
         key = (point, asn)
         profile = self._as_profiles.get(key)
         if profile is None:
@@ -200,6 +334,7 @@ class GeoDistanceIndex:
     # ------------------------------------------------------------------ #
     def ixp_pair_span_km(self, ixp_a: str, ixp_b: str) -> tuple[float, float] | None:
         """(min, max) pairwise distance between two IXPs' facility sets."""
+        self._sync()
         key = (ixp_a, ixp_b) if ixp_a <= ixp_b else (ixp_b, ixp_a)
         if key in self._ixp_spans:
             return self._ixp_spans[key]
@@ -212,6 +347,7 @@ class GeoDistanceIndex:
 
     def as_ixp_span_km(self, asn: int, ixp_id: str) -> tuple[float, float] | None:
         """(min, max) pairwise distance between an AS's and an IXP's facilities."""
+        self._sync()
         key = (asn, ixp_id)
         if key in self._as_ixp_spans:
             return self._as_ixp_spans[key]
@@ -228,6 +364,7 @@ class GeoDistanceIndex:
         This is the Step 4 hybrid condition's bound on how far the member's
         shared presence can be from the anchor IXP's fabric.
         """
+        self._sync()
         key = (asn, ixp_id)
         if key in self._common_spans:
             return self._common_spans[key]
@@ -251,6 +388,7 @@ class GeoDistanceIndex:
         aggregates, the same sets recur across every interface of one member
         AS and across scenario-sweep reruns.
         """
+        self._sync()
         key = asns if isinstance(asns, frozenset) else frozenset(asns)
         cached = self._majority_votes.get(key)
         if cached is not None:

@@ -96,7 +96,7 @@ class PingCampaign:
             if not vp.is_dead:
                 self._fill_samples(vp, route_server_series, distance_km=0.0, stretch=1.0,
                                    responds=True)
-            result.route_server_series.append(route_server_series)
+            result.add_route_server_series(route_server_series)
 
         for membership in self.world.active_memberships(vp.ixp_id):
             series = PingSeries(
@@ -106,7 +106,7 @@ class PingCampaign:
                 distance, stretch = self._distance_and_stretch(vp, membership)
                 self._fill_samples(vp, series, distance_km=distance, stretch=stretch,
                                    responds=responds)
-            result.series.append(series)
+            result.add_series(series)
 
     def _response_rate(self, vp: VantagePoint) -> float:
         return (

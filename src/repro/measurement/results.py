@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.netindex import SizeGuardedIndex
 from repro.routing.forwarding import ForwardingPath
+from repro.versioning import GenerationGuardedIndex, Versioned
 
 
 @dataclass(frozen=True)
@@ -45,30 +45,52 @@ class PingSeries:
 
 
 @dataclass
-class PingCampaignResult:
+class PingCampaignResult(Versioned):
     """Everything a ping campaign produced.
 
     The per-VP and per-IXP accessors are served from lazily built dict
-    indexes over the (append-only) series lists, held in shared
-    :class:`~repro.netindex.sizeguard.SizeGuardedIndex` guards; an index
-    rebuilds automatically whenever its backing list changed length since it
-    was built.
+    indexes over the (append-only) series lists, guarded by
+    ``(generation, length)`` version tokens
+    (:class:`~repro.versioning.GenerationGuardedIndex`): appending through
+    :meth:`add_series` / :meth:`add_route_server_series` — or growing the
+    lists directly — re-keys the indexes automatically, and the generation
+    stamp also re-keys the step-graph engine's cached Step 2 results.
+    Editing a recorded series' samples *in place* still requires
+    :meth:`invalidate_caches` (an opaque generation bump).
     """
 
     series: list[PingSeries] = field(default_factory=list)
     route_server_series: list[PingSeries] = field(default_factory=list)
     vantage_points: dict[str, "VantagePoint"] = field(default_factory=dict)  # noqa: F821
 
-    # Size-guarded derived indexes; never part of equality or repr.
-    _series_index: SizeGuardedIndex = field(
-        default_factory=SizeGuardedIndex, init=False, repr=False, compare=False)
-    _rs_index: SizeGuardedIndex = field(
-        default_factory=SizeGuardedIndex, init=False, repr=False, compare=False)
+    # Generation-guarded derived indexes; never part of equality or repr.
+    _series_index: GenerationGuardedIndex = field(
+        default_factory=GenerationGuardedIndex, init=False, repr=False, compare=False)
+    _rs_index: GenerationGuardedIndex = field(
+        default_factory=GenerationGuardedIndex, init=False, repr=False, compare=False)
 
     def invalidate_caches(self) -> None:
-        """Drop the derived indexes (needed after same-length list edits)."""
-        self._series_index.invalidate()
-        self._rs_index.invalidate()
+        """Re-key the derived indexes (needed after in-place sample edits)."""
+        self.bump_generation()
+
+    def version_token(self) -> tuple[int, int, int, int]:
+        """``(generation, sizes...)`` stamp folded into engine cache keys."""
+        return (
+            self.generation,
+            len(self.series),
+            len(self.route_server_series),
+            len(self.vantage_points),
+        )
+
+    def add_series(self, series: PingSeries) -> None:
+        """Record one member-interface series (a campaign append or retry)."""
+        self.series.append(series)
+        self.bump_generation()
+
+    def add_route_server_series(self, series: PingSeries) -> None:
+        """Record one route-server control series for a vantage point."""
+        self.route_server_series.append(series)
+        self.bump_generation()
 
     def _build_series_index(
         self,
@@ -82,7 +104,8 @@ class PingCampaignResult:
 
     def _indexed_series(self) -> tuple[dict[str, list[PingSeries]], dict[str, list[PingSeries]]]:
         """(IXP -> series, VP -> series) indexes over the member series."""
-        return self._series_index.get(len(self.series), self._build_series_index)
+        return self._series_index.get(
+            (self.generation, len(self.series)), self._build_series_index)
 
     def series_for_ixp(self, ixp_id: str) -> list[PingSeries]:
         """Member-interface series collected at one IXP."""
@@ -104,7 +127,8 @@ class PingCampaignResult:
         and editing a recorded series' samples in place after the index was
         built requires :meth:`invalidate_caches` to become visible.
         """
-        index = self._rs_index.get(len(self.route_server_series), self._build_rs_index)
+        index = self._rs_index.get(
+            (self.generation, len(self.route_server_series)), self._build_rs_index)
         return index.get(vp_id)
 
     def _build_rs_index(self) -> dict[str, PingSeries]:
@@ -134,17 +158,26 @@ class PingCampaignResult:
 
 
 @dataclass
-class TracerouteCorpus:
-    """A collection of simulated traceroute paths."""
+class TracerouteCorpus(Versioned):
+    """A collection of simulated traceroute paths.
+
+    Generation-stamped so the engine's traceroute-observables cache key
+    tracks corpus refreshes made through :meth:`extend`.
+    """
 
     paths: list[ForwardingPath] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.paths)
 
+    def version_token(self) -> tuple[int, int]:
+        """``(generation, size)`` stamp folded into engine cache keys."""
+        return (self.generation, len(self.paths))
+
     def extend(self, paths: list[ForwardingPath]) -> None:
         """Append paths to the corpus."""
         self.paths.extend(paths)
+        self.bump_generation()
 
     def paths_from(self, source_asn: int) -> list[ForwardingPath]:
         """All paths whose probe sits in the given AS."""

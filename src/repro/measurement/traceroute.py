@@ -22,6 +22,7 @@ import random
 from repro.config import CampaignConfig
 from repro.exceptions import MeasurementError
 from repro.geo.delay_model import DelayModel
+from repro.geo.worldindex import WorldDistanceIndex
 from repro.measurement.results import TracerouteCorpus
 from repro.routing.bgp import ASGraph, RouteSelector
 from repro.routing.forwarding import ForwardingSimulator
@@ -38,17 +39,22 @@ class TracerouteCampaign:
         *,
         graph: ASGraph | None = None,
         delay_model: DelayModel | None = None,
+        world_index: WorldDistanceIndex | None = None,
     ) -> None:
         self.world = world
         self.config = config or CampaignConfig()
         self.graph = graph or ASGraph(world)
         self.selector = RouteSelector(self.graph)
         self._rng = random.Random(world.seed * 613 + self.config.seed_offset + 4)
+        # One world-level distance index serves every hop of every corpus
+        # this campaign produces (callers may inject a shared one).
+        self.world_index = world_index or WorldDistanceIndex(world)
         self.simulator = ForwardingSimulator(
             world,
             self.graph,
             delay_model=delay_model,
             rng=random.Random(world.seed * 613 + self.config.seed_offset + 5),
+            world_index=self.world_index,
             hot_potato_compliance=self.config.hot_potato_compliance,
             hop_loss_rate=self.config.traceroute_hop_loss_rate,
         )

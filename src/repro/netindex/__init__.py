@@ -9,17 +9,30 @@ funnels through the :class:`~repro.netindex.lpm.LPMIndex` defined here.
 The index guarantees *true* longest-prefix-match semantics (the most specific
 registered prefix containing an address wins, regardless of insertion order)
 and answers lookups with a single binary search over pre-parsed integer
-ranges instead of re-parsing every prefix on every probe.  See
+ranges instead of re-parsing every prefix on every probe.
+:class:`~repro.netindex.lpm.LPMDeltaView` is the incremental companion: a
+frozen index plus a small add/replace overlay, compacted into a full rebuild
+past :data:`~repro.netindex.lpm.DELTA_COMPACTION_THRESHOLD`, so journalled
+dataset refreshes patch the LPM path instead of tearing it down.  See
 :mod:`repro.netindex.lpm` for the data-structure details and the invariants
 consumers rely on.
 
-:mod:`repro.netindex.sizeguard` holds the companion
-:class:`~repro.netindex.sizeguard.SizeGuardedIndex` helper — the shared
-implementation of the (size-when-built, payload) lazy-cache pattern used by
-every derived-index accessor in the result containers.
+The ``(size-when-built, payload)`` lazy-cache helper that used to live here
+(``SizeGuardedIndex``) was retired by the dataset-versioning layer; the
+result containers now guard their derived views with
+:class:`repro.versioning.GenerationGuardedIndex` tokens instead.
 """
 
-from repro.netindex.lpm import LPMIndex
-from repro.netindex.sizeguard import SizeGuardedIndex
+from repro.netindex.lpm import (
+    DELTA_COMPACTION_THRESHOLD,
+    LPMDeltaView,
+    LPMIndex,
+    apply_lpm_delta,
+)
 
-__all__ = ["LPMIndex", "SizeGuardedIndex"]
+__all__ = [
+    "DELTA_COMPACTION_THRESHOLD",
+    "LPMDeltaView",
+    "LPMIndex",
+    "apply_lpm_delta",
+]

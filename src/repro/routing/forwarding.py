@@ -15,6 +15,13 @@ Hot-potato behaviour: when two ASes share several IXPs, the exit IXP is the
 one closest to the current position of the traffic with probability
 ``hot_potato_compliance``; otherwise a different (policy-driven) exchange is
 picked — this is the knob behind the Section 6.4 experiment.
+
+All per-hop geometry goes through a world-level
+:class:`~repro.geo.worldindex.WorldDistanceIndex` (ground truth — kept
+deliberately separate from the observed-dataset
+:class:`~repro.geo.distindex.GeoDistanceIndex` the inference side uses): the
+same inter-facility legs recur across every path of a corpus, so each
+distance is computed once per world instead of once per hop.
 """
 
 from __future__ import annotations
@@ -23,8 +30,8 @@ import random
 from dataclasses import dataclass, field
 
 from repro.exceptions import RoutingError
-from repro.geo.coordinates import GeoPoint, geodesic_distance_km
 from repro.geo.delay_model import DelayModel
+from repro.geo.worldindex import WorldDistanceIndex
 from repro.routing.bgp import ASGraph, EdgeRealization, RealizationKind, RouteSelector
 from repro.topology.entities import InterfaceKind, IXPMembership, Router
 from repro.topology.world import World
@@ -85,6 +92,7 @@ class ForwardingSimulator:
         *,
         delay_model: DelayModel | None = None,
         rng: random.Random | None = None,
+        world_index: WorldDistanceIndex | None = None,
         hot_potato_compliance: float = 0.70,
         hop_loss_rate: float = 0.03,
         ixp_preference: float = 0.60,
@@ -93,6 +101,9 @@ class ForwardingSimulator:
         self.graph = graph or ASGraph(world)
         self.selector = RouteSelector(self.graph)
         self.delay_model = delay_model or DelayModel()
+        self.world_index = world_index or WorldDistanceIndex(world)
+        if self.world_index.world is not world:
+            raise RoutingError("world_index must be built over the same world")
         self._rng = rng or random.Random(world.seed + 777)
         self.hot_potato_compliance = hot_potato_compliance
         self.hop_loss_rate = hop_loss_rate
@@ -153,9 +164,6 @@ class ForwardingSimulator:
                 return ip
         return None
 
-    def _location_of_router(self, router: Router) -> GeoPoint:
-        return self.world.facility_location(router.facility_id)
-
     def _choose_realization(self, a: int, b: int) -> EdgeRealization:
         realizations = self.graph.realizations(a, b)
         if not realizations:
@@ -172,15 +180,15 @@ class ForwardingSimulator:
             return transit_options[0]
         return self._rng.choice(ixp_options)
 
-    def _choose_ixp(self, current_location: GeoPoint, asn: int, candidates: list[str]) -> str:
+    def _choose_ixp(self, current_facility_id: str, asn: int, candidates: list[str]) -> str:
         """Hot-potato (closest exit) IXP choice, with policy deviations."""
         if len(candidates) == 1:
             return candidates[0]
         distances: dict[str, float] = {}
         for ixp_id in candidates:
             membership = self._memberships_by_as_ixp[(asn, ixp_id)]
-            exit_location = self.world.facility_location(membership.member_facility_id)
-            distances[ixp_id] = geodesic_distance_km(current_location, exit_location)
+            distances[ixp_id] = self.world_index.facility_pair_km(
+                current_facility_id, membership.member_facility_id)
         closest = min(sorted(candidates), key=lambda i: distances[i])
         if self._rng.random() < self.hot_potato_compliance:
             return closest
@@ -196,7 +204,6 @@ class ForwardingSimulator:
             destination_ip=destination_ip,
         )
         current_router = self._first_router(source_asn)
-        current_location = self._location_of_router(current_router)
         cumulative_km = 0.0
 
         def emit(ip: str | None, asn: int | None, *, is_ixp: bool = False,
@@ -210,11 +217,13 @@ class ForwardingSimulator:
             )
 
         def move_to(router: Router) -> None:
-            nonlocal current_router, current_location, cumulative_km
-            new_location = self._location_of_router(router)
-            cumulative_km += geodesic_distance_km(current_location, new_location)
+            nonlocal current_router, cumulative_km
+            # Same-facility moves contribute exactly 0 km, as the per-call
+            # geodesic on identical coordinates always did.
+            if router.facility_id != current_router.facility_id:
+                cumulative_km += self.world_index.facility_pair_km(
+                    current_router.facility_id, router.facility_id)
             current_router = router
-            current_location = new_location
 
         # First hop: the source border router answering from a backbone interface.
         emit(self._backbone_ip(current_router), source_asn)
@@ -225,7 +234,7 @@ class ForwardingSimulator:
 
             if realization.kind is RealizationKind.IXP:
                 candidates = self.graph.common_ixps(here, there)
-                ixp_id = self._choose_ixp(current_location, here, candidates)
+                ixp_id = self._choose_ixp(current_router.facility_id, here, candidates)
                 exit_membership = self._memberships_by_as_ixp[(here, ixp_id)]
                 exit_router = self.world.router(exit_membership.router_id)
                 if exit_router.router_id != current_router.router_id:

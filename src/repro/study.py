@@ -29,6 +29,7 @@ from repro.datasources.merge import MergeStatistics, ObservedDataset, build_obse
 from repro.datasources.prefix2as import Prefix2ASMap, Prefix2ASSource
 from repro.geo.delay_model import DelayModel
 from repro.geo.distindex import GeoDistanceIndex
+from repro.geo.worldindex import WorldDistanceIndex
 from repro.measurement.ping import PingCampaign
 from repro.measurement.results import PingCampaignResult, TracerouteCorpus
 from repro.measurement.traceroute import TracerouteCampaign
@@ -114,10 +115,23 @@ class RemotePeeringStudy:
         return campaign.run(self.studied_ixp_ids, vantage_plan=plan)
 
     @cached_property
+    def world_distance_index(self) -> WorldDistanceIndex:
+        """The shared ground-truth facility-distance index.
+
+        Serves every per-hop distance of every forwarding simulation run on
+        this study (the public corpus, the Section 6.4 pair traceroutes).
+        Kept strictly separate from :attr:`geo_index`, which answers for the
+        *observed* dataset: ground truth must not leak into inference, nor
+        observation noise into synthetic measurements.
+        """
+        return WorldDistanceIndex(self.world)
+
+    @cached_property
     def traceroute_corpus(self) -> TracerouteCorpus:
         """The public (Atlas-like) traceroute corpus."""
         campaign = TracerouteCampaign(self.world, self.config.campaign,
-                                      delay_model=self.delay_model)
+                                      delay_model=self.delay_model,
+                                      world_index=self.world_distance_index)
         return campaign.run_public_corpus(self.studied_ixp_ids)
 
     # ------------------------------------------------------------------ #

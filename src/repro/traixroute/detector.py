@@ -11,16 +11,33 @@ consecutive responding hops ``(IP1, IP2, IP3)`` satisfy
 The same module also extracts *private adjacencies*: consecutive responding
 hops whose addresses belong to different ASes without any IXP LAN in between,
 which is the raw material of Step 5 (private-connectivity localisation).
+
+:class:`CorpusDetectionIndex` layers the dataset-versioning contract on top:
+it keeps the per-path detection results of one corpus and, when the dataset's
+LAN prefixes or the prefix2as map change through their journal-emitting
+mutators, re-detects **only the paths whose hops fall under a changed
+prefix** — the detection analogue of the LPM delta overlay and the
+geo-distance index's selective eviction.
 """
 
 from __future__ import annotations
 
+import ipaddress
 from dataclasses import dataclass
 
-from repro.datasources.merge import ObservedDataset
-from repro.datasources.prefix2as import Prefix2ASMap
+from repro.datasources.merge import (
+    DOMAIN_INTERFACES,
+    DOMAIN_IXP_FACILITIES,
+    DOMAIN_IXP_PREFIXES,
+    ObservedDataset,
+)
+from repro.datasources.prefix2as import DOMAIN_PREFIXES, Prefix2ASMap
 from repro.measurement.results import TracerouteCorpus
 from repro.routing.forwarding import ForwardingPath
+
+#: Changed prefixes beyond which a selective re-detection stops being cheaper
+#: than a full corpus re-scan with a fresh detector.
+SELECTIVE_REDETECTION_LIMIT = 256
 
 
 @dataclass(frozen=True)
@@ -175,3 +192,212 @@ class CrossingDetector:
         for path in corpus.paths:
             adjacencies.extend(self.private_adjacencies(path))
         return adjacencies
+
+
+class CorpusDetectionIndex:
+    """Per-path detection results maintained incrementally across revisions.
+
+    One index binds a dataset, a prefix2as map and a corpus; it stores the
+    crossings and private adjacencies of every path and keeps them current
+    against the generation stamps of its inputs:
+
+    * a **prefix change** (a LAN prefix re-map on the dataset, an add /
+      re-map / removal on the prefix2as map) evicts the classification memos
+      of exactly the hop IPs that fall under a changed prefix and re-detects
+      only the paths containing such an IP.  Soundness: detection is a
+      deterministic function of the classification answers a path's hops
+      receive, every answer ever given is memoised, so a path none of whose
+      memoised answers changed replays the exact same detection — and an IP
+      that was never queried cannot have influenced the stored result;
+    * an **interface change** rebuilds the whole index — the per-IXP
+      membership sets (triplet rule 3) derive from the interface dicts, so
+      any path could be affected;
+    * **corpus growth** detects only the appended paths;
+    * an opaque bump, a truncated journal, a shrunk corpus or an oversized
+      change batch (:data:`SELECTIVE_REDETECTION_LIMIT`) falls back to a
+      full re-scan with a fresh detector.
+
+    Results are equal to what a fresh :class:`CrossingDetector` over the
+    current state would produce, in the same (path-major) order.
+    """
+
+    def __init__(
+        self,
+        dataset: ObservedDataset,
+        prefix2as: Prefix2ASMap,
+        corpus: TracerouteCorpus,
+    ) -> None:
+        self.dataset = dataset
+        self.prefix2as = prefix2as
+        self.corpus = corpus
+        self._detector: CrossingDetector | None = None
+        self._per_path: list[tuple[list[IXPCrossing], list[PrivateAdjacency]]] = []
+        # ip -> (version, numeric, max_prefixlen); IPs are content-stable, so
+        # the parse survives rebuilds and is amortised across revisions.
+        self._parsed_ips: dict[str, tuple[int, int, int]] = {}
+        self._synced_dataset = dataset.generation
+        self._synced_prefix2as = prefix2as.generation
+        self._synced_paths = 0
+        #: Full corpus re-scans performed (the first build counts as one).
+        self.full_scans = 0
+        #: Paths re-detected selectively across all revisions.
+        self.paths_redetected = 0
+
+    def results(self) -> tuple[list[IXPCrossing], list[PrivateAdjacency]]:
+        """(crossings, adjacencies) over the whole corpus, current revision.
+
+        The returned lists are fresh; the result objects inside are shared
+        with the index (and with earlier revisions' results) and immutable.
+        """
+        self._sync()
+        crossings: list[IXPCrossing] = []
+        adjacencies: list[PrivateAdjacency] = []
+        for path_crossings, path_adjacencies in self._per_path:
+            crossings.extend(path_crossings)
+            adjacencies.extend(path_adjacencies)
+        return crossings, adjacencies
+
+    # ------------------------------------------------------------------ #
+    def _sync(self) -> None:
+        detector = self._detector
+        if detector is None:
+            self._rebuild()
+            return
+
+        changed_prefixes: list[str] = []
+        membership_dirty: set[str] = set()
+        dataset_generation = self.dataset.generation
+        if dataset_generation != self._synced_dataset:
+            changes = self.dataset.journal.since(
+                self._synced_dataset,
+                (DOMAIN_IXP_PREFIXES, DOMAIN_INTERFACES, DOMAIN_IXP_FACILITIES))
+            if changes is None or any(
+                change.domain == DOMAIN_INTERFACES for change in changes
+            ):
+                self._rebuild()
+                return
+            # Triplet rule (3) consults a per-IXP membership snapshot keyed
+            # by the dataset's known IXP ids — a set both a prefix re-map
+            # and a colocation change can extend or shrink.
+            for change in changes:
+                if change.domain == DOMAIN_IXP_PREFIXES:
+                    changed_prefixes.append(change.key)
+                    for ixp_id in (change.old, change.new):
+                        if ixp_id is not None:
+                            membership_dirty.add(ixp_id)
+                else:  # DOMAIN_IXP_FACILITIES: key is (ixp_id, facility_id)
+                    membership_dirty.add(change.key[0])
+        prefix2as_generation = self.prefix2as.generation
+        if prefix2as_generation != self._synced_prefix2as:
+            changes = self.prefix2as.journal.since(
+                self._synced_prefix2as, (DOMAIN_PREFIXES,))
+            if changes is None:
+                self._rebuild()
+                return
+            changed_prefixes.extend(change.key for change in changes)
+
+        if len(changed_prefixes) + len(membership_dirty) > SELECTIVE_REDETECTION_LIMIT:
+            self._rebuild()
+            return
+        if len(self.corpus.paths) < self._synced_paths:
+            self._rebuild()
+            return
+
+        affected: set[str] = set()
+        if changed_prefixes:
+            affected |= self._evict_under(changed_prefixes)
+        if membership_dirty:
+            affected |= self._refresh_members(membership_dirty)
+        if affected:
+            self._redetect(affected)
+        self._synced_dataset = dataset_generation
+        self._synced_prefix2as = prefix2as_generation
+
+        for path in self.corpus.paths[self._synced_paths:]:
+            detector = self._detector
+            self._per_path.append(
+                (detector.detect(path), detector.private_adjacencies(path)))
+        self._synced_paths = len(self.corpus.paths)
+
+    def _rebuild(self) -> None:
+        detector = self._detector = CrossingDetector(self.dataset, self.prefix2as)
+        self._per_path = [
+            (detector.detect(path), detector.private_adjacencies(path))
+            for path in self.corpus.paths
+        ]
+        self._synced_dataset = self.dataset.generation
+        self._synced_prefix2as = self.prefix2as.generation
+        self._synced_paths = len(self.corpus.paths)
+        self.full_scans += 1
+        # Pay the hop-IP parse during the (rare, already expensive) full
+        # build so revision syncs only shift-and-test.
+        parsed = self._parsed_ips
+        for ip in set(detector._ixp_memo) | set(detector._asn_memo):
+            if ip not in parsed:
+                address = ipaddress.ip_address(ip)
+                parsed[ip] = (address.version, int(address), address.max_prefixlen)
+
+    def _refresh_members(self, ixp_ids: set[str]) -> set[str]:
+        """Refresh rule-3 membership snapshots; return IPs to re-detect.
+
+        Mirrors a fresh detector: an IXP outside ``dataset.ixp_ids()`` has no
+        membership set (an absent and an empty set behave identically under
+        rule 3).  Classification memos are untouched — only paths whose hops
+        *classified to* an IXP with genuinely changed membership can detect
+        differently.
+        """
+        detector = self._detector
+        known = set(self.dataset.ixp_ids())
+        changed: set[str] = set()
+        for ixp_id in ixp_ids:
+            old = detector._members.get(ixp_id)
+            if ixp_id in known:
+                members = self.dataset.members_of_ixp(ixp_id)
+                if (old or set()) != members:
+                    detector._members[ixp_id] = members
+                    changed.add(ixp_id)
+            elif detector._members.pop(ixp_id, None):
+                changed.add(ixp_id)
+        if not changed:
+            return set()
+        return {
+            ip for ip, value in detector._ixp_memo.items() if value in changed
+        }
+
+    def _evict_under(self, prefixes: list[str]) -> set[str]:
+        """Evict memoised classifications under the prefixes; return the IPs."""
+        detector = self._detector
+        # Bucket the changed networks by (version, prefixlen): containment
+        # for a whole bucket is then one shift and one set lookup per IP.
+        buckets: dict[tuple[int, int], set[int]] = {}
+        for prefix in prefixes:
+            network = ipaddress.ip_network(prefix)
+            shift = network.max_prefixlen - network.prefixlen
+            buckets.setdefault((network.version, shift), set()).add(
+                int(network.network_address) >> shift)
+        affected: set[str] = set()
+        parsed = self._parsed_ips
+        for ip in set(detector._ixp_memo) | set(detector._asn_memo):
+            info = parsed.get(ip)
+            if info is None:
+                address = ipaddress.ip_address(ip)
+                info = parsed[ip] = (
+                    address.version, int(address), address.max_prefixlen)
+            version, numeric, _max_prefixlen = info
+            for (bucket_version, shift), networks in buckets.items():
+                if bucket_version == version and (numeric >> shift) in networks:
+                    affected.add(ip)
+                    break
+        for ip in affected:
+            detector._ixp_memo.pop(ip, None)
+            detector._asn_memo.pop(ip, None)
+        return affected
+
+    def _redetect(self, affected: set[str]) -> None:
+        """Re-run detection for every stored path touching an affected IP."""
+        detector = self._detector
+        for index, path in enumerate(self.corpus.paths[: self._synced_paths]):
+            if any(hop.ip in affected for hop in path.hops):
+                self._per_path[index] = (
+                    detector.detect(path), detector.private_adjacencies(path))
+                self.paths_redetected += 1

@@ -116,7 +116,8 @@ class TestMemoisation:
         # Second round served from the memo (same answers).
         assert index.lookup("100.0.0.1") == "a"
         assert index.lookup("203.0.113.1") is None
-        assert index._memo == {"100.0.0.1": "a", "203.0.113.1": None}
+        # The memo stores (value, prefixlen) matches, misses as None.
+        assert index._memo == {"100.0.0.1": ("a", 24), "203.0.113.1": None}
 
     def test_clear_cache_keeps_answers_correct(self):
         index = LPMIndex([("100.0.0.0/24", "a")])
@@ -139,11 +140,11 @@ class TestIPv6:
         assert index.lookup("2001:db9::1") is None
 
 
-class TestSizeGuardedIndex:
-    """The shared (size-when-built, payload) lazy-cache helper."""
+class TestGenerationGuardedIndex:
+    """The shared version-token lazy-cache helper (ex-SizeGuardedIndex)."""
 
-    def test_builds_lazily_and_once_per_size(self):
-        from repro.netindex import SizeGuardedIndex
+    def test_builds_lazily_and_once_per_token(self):
+        from repro.versioning import GenerationGuardedIndex
         backing = {"a": 1}
         builds = []
 
@@ -151,33 +152,38 @@ class TestSizeGuardedIndex:
             builds.append(len(backing))
             return dict(backing)
 
-        guard = SizeGuardedIndex()
+        guard = GenerationGuardedIndex()
         assert not guard.is_built
-        assert guard.get(len(backing), build) == {"a": 1}
-        assert guard.get(len(backing), build) == {"a": 1}
-        assert builds == [1], "same size must not rebuild"
+        assert guard.get((0, len(backing)), build) == {"a": 1}
+        assert guard.get((0, len(backing)), build) == {"a": 1}
+        assert builds == [1], "same token must not rebuild"
 
     def test_size_change_triggers_rebuild(self):
-        from repro.netindex import SizeGuardedIndex
+        from repro.versioning import GenerationGuardedIndex
         backing = {"a": 1}
-        guard = SizeGuardedIndex()
-        assert guard.get(len(backing), lambda: dict(backing)) == {"a": 1}
+        guard = GenerationGuardedIndex()
+        assert guard.get((0, len(backing)), lambda: dict(backing)) == {"a": 1}
         backing["b"] = 2
-        assert guard.get(len(backing), lambda: dict(backing)) == {"a": 1, "b": 2}
+        assert guard.get((0, len(backing)), lambda: dict(backing)) == {"a": 1, "b": 2}
         del backing["a"]
         del backing["b"]
-        assert guard.get(len(backing), lambda: dict(backing)) == {}
+        assert guard.get((0, len(backing)), lambda: dict(backing)) == {}
 
-    def test_same_size_mutation_needs_invalidate(self):
-        from repro.netindex import SizeGuardedIndex
+    def test_generation_bump_triggers_rebuild_at_same_size(self):
+        from repro.versioning import GenerationGuardedIndex
         backing = {"a": 1}
-        guard = SizeGuardedIndex()
-        assert guard.get(len(backing), lambda: dict(backing)) == {"a": 1}
-        # Replace the key set at unchanged size: not detected by the guard...
+        guard = GenerationGuardedIndex()
+        assert guard.get((0, len(backing)), lambda: dict(backing)) == {"a": 1}
+        # Replace the key set at unchanged size: the size half cannot see
+        # it, but the owner's generation bump re-keys the payload.
         del backing["a"]
         backing["b"] = 2
-        assert guard.get(len(backing), lambda: dict(backing)) == {"a": 1}
-        # ...until the consumer invalidates explicitly.
+        assert guard.get((1, len(backing)), lambda: dict(backing)) == {"b": 2}
+
+    def test_invalidate_drops_payload(self):
+        from repro.versioning import GenerationGuardedIndex
+        guard = GenerationGuardedIndex()
+        assert guard.get((0, 1), lambda: "payload") == "payload"
         guard.invalidate()
         assert not guard.is_built
-        assert guard.get(len(backing), lambda: dict(backing)) == {"b": 2}
+        assert guard.get((0, 1), lambda: "rebuilt") == "rebuilt"

@@ -1,0 +1,711 @@
+"""Tests for the generation-stamped dataset-versioning layer.
+
+Covers the :mod:`repro.versioning` primitives, the incremental LPM delta
+path, the journal-emitting dataset mutators (including the historical
+size-guard trap: in-place replacement at unchanged size), the selective
+eviction of the geodesic-distance index, the step-result cache's LRU/byte
+budget and the engine's cross-revision step reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.core.engine import PipelineEngine, StepResultCache
+from repro.core.inputs import InferenceInputs
+from repro.datasources.merge import (
+    DOMAIN_FACILITY_LOCATIONS,
+    DOMAIN_INTERFACES,
+    DOMAIN_IXP_PREFIXES,
+    ObservedDataset,
+)
+from repro.datasources.prefix2as import Prefix2ASMap
+from repro.geo.coordinates import offset_point
+from repro.geo.distindex import GeoDistanceIndex
+from repro.netindex import DELTA_COMPACTION_THRESHOLD, LPMDeltaView, LPMIndex
+from repro.study import RemotePeeringStudy
+from repro.versioning import Change, ChangeJournal, ChangeKind, Versioned
+from tests.helpers import build_scenario
+
+
+def _change(domain: str, key: object = "k") -> Change:
+    return Change(ChangeKind.ADD, domain, key)
+
+
+class TestChangeJournal:
+    def test_since_returns_changes_after_generation(self):
+        journal = ChangeJournal()
+        journal.append(1, _change("a", "k1"))
+        journal.append(2, _change("b", "k2"))
+        journal.append(3, _change("a", "k3"))
+        assert [c.key for c in journal.since(0)] == ["k1", "k2", "k3"]
+        assert [c.key for c in journal.since(1)] == ["k2", "k3"]
+        assert journal.since(3) == []
+
+    def test_domain_filter(self):
+        journal = ChangeJournal()
+        journal.append(1, _change("a", "k1"))
+        journal.append(2, _change("b", "k2"))
+        assert [c.key for c in journal.since(0, domains=("a",))] == ["k1"]
+        assert journal.since(0, domains=("missing",)) == []
+
+    def test_truncation_raises_floor(self):
+        journal = ChangeJournal(bound=3)
+        for generation in range(1, 6):
+            journal.append(generation, _change("a", generation))
+        # Generations 1 and 2 were dropped: replay from before them is gone.
+        assert journal.floor == 2
+        assert journal.since(1) is None
+        assert [c.key for c in journal.since(2)] == [3, 4, 5]
+
+    def test_opaque_mark_poisons_replay(self):
+        journal = ChangeJournal()
+        journal.append(1, _change("a"))
+        journal.mark_opaque(2)
+        assert journal.since(1) is None
+        assert journal.since(2) == []
+
+
+class TestVersionedMixin:
+    def test_record_change_bumps_global_and_domain_generations(self):
+        container = Versioned()
+        assert container.generation == 0
+        container.record_change(_change("a"))
+        container.record_change(_change("b"))
+        assert container.generation == 2
+        assert container.domain_generation("a") == 1
+        assert container.domain_generation("b") == 2
+        assert container.domain_generation("untouched") == 0
+
+    def test_opaque_bump_counts_against_every_domain(self):
+        container = Versioned()
+        container.record_change(_change("a"))
+        container.bump_generation()
+        assert container.generation == 2
+        assert container.domain_generation("a") == 2
+        assert container.domain_generation("never-seen") == 2
+        assert container.journal.since(1) is None
+
+
+class TestLPMDeltaView:
+    def test_overlay_matches_full_rebuild(self):
+        entries = {"10.0.0.0/8": "outer", "10.1.0.0/16": "mid"}
+        view = LPMDeltaView(LPMIndex(entries))
+        patched = dict(entries)
+        for prefix, value in [
+            ("10.1.2.0/24", "inner"),      # more specific than every base match
+            ("10.0.0.0/8", "outer-v2"),    # same-prefix re-registration
+            ("10.1.2.7/32", "host"),       # host route through the overlay
+            ("11.0.0.0/8", "novel"),       # previously unmatched space
+        ]:
+            view = view.patched(prefix, value)
+            patched[prefix] = value
+        reference = LPMIndex(patched)
+        for ip in [
+            "10.1.2.7", "10.1.2.9", "10.1.3.9", "10.2.0.1",
+            "11.5.5.5", "12.0.0.1",
+        ]:
+            assert view.lookup(ip) == reference.lookup(ip), ip
+
+    def test_more_specific_base_match_beats_shorter_overlay_patch(self):
+        view = LPMDeltaView(LPMIndex({"10.1.0.0/16": "mid"}))
+        view = view.patched("10.0.0.0/8", "outer")
+        assert view.lookup("10.1.0.1") == "mid"
+        assert view.lookup("10.2.0.1") == "outer"
+
+    def test_lookup_match_reports_prefixlen(self):
+        index = LPMIndex({"10.0.0.0/8": "outer", "10.1.0.0/16": "mid",
+                          "10.1.1.1/32": "host"})
+        assert index.lookup_match("10.2.0.1") == ("outer", 8)
+        assert index.lookup_match("10.1.0.1") == ("mid", 16)
+        assert index.lookup_match("10.1.1.1") == ("host", 32)
+        assert index.lookup_match("11.0.0.1") is None
+
+
+class TestPrefix2ASIncremental:
+    def _filled(self) -> Prefix2ASMap:
+        mapping = Prefix2ASMap()
+        mapping.add("10.0.0.0/8", 65000)
+        mapping.add("10.1.0.0/16", 65001)
+        mapping.add("192.0.2.0/24", 65002)
+        return mapping
+
+    def test_post_build_add_is_patched_not_rebuilt(self):
+        mapping = self._filled()
+        assert mapping.lookup("10.1.0.1") == 65001
+        assert mapping.full_rebuilds == 1
+        mapping.add("10.1.2.0/24", 65009)
+        assert mapping.lookup("10.1.2.1") == 65009
+        assert mapping.lookup("10.1.3.1") == 65001
+        assert mapping.incremental_patches == 1
+        assert mapping.full_rebuilds == 1, "the delta must not rebuild the table"
+
+    def test_generation_bumps_on_real_changes_only(self):
+        mapping = self._filled()
+        generation = mapping.generation
+        mapping.add("10.1.0.0/16", 65001)  # idempotent re-registration
+        assert mapping.generation == generation
+        mapping.add("10.1.0.0/16", 64999)
+        assert mapping.generation == generation + 1
+
+    def test_removal_forces_rebuild(self):
+        mapping = self._filled()
+        assert mapping.lookup("10.1.0.1") == 65001
+        assert mapping.remove("10.1.0.0/16")
+        assert mapping.lookup("10.1.0.1") == 65000, "range must fall to the outer prefix"
+        assert mapping.full_rebuilds == 2
+        assert not mapping.remove("10.1.0.0/16")
+
+    def test_overlay_compacts_past_threshold(self):
+        mapping = self._filled()
+        mapping.lookup("10.0.0.1")
+        for index in range(DELTA_COMPACTION_THRESHOLD + 1):
+            mapping.add(f"172.16.{index}.0/24", 65100 + index)
+        assert mapping.lookup("172.16.0.1") == 65100
+        assert mapping.full_rebuilds == 2, "the overlay must compact into a rebuild"
+        assert mapping.incremental_patches == DELTA_COMPACTION_THRESHOLD
+
+    def test_version_token_tracks_generation_and_size(self):
+        mapping = self._filled()
+        token = mapping.version_token()
+        mapping.add("172.16.0.0/12", 65100)
+        assert mapping.version_token() != token
+
+
+class TestDatasetMutators:
+    def test_prefix_remap_at_unchanged_size_is_visible_without_invalidate(self):
+        """The historical size-guard trap, caught by generation stamps."""
+        dataset = ObservedDataset(
+            ixp_prefixes={"185.1.0.0/24": "ixp-a", "185.2.0.0/24": "ixp-b"})
+        assert dataset.ixp_for_ip("185.1.0.9") == "ixp-a"
+        changed = dataset.set_ixp_prefix("185.1.0.0/24", "ixp-b")
+        assert changed
+        # Same dict size, no invalidate_caches() — and yet:
+        assert dataset.ixp_for_ip("185.1.0.9") == "ixp-b"
+
+    def test_prefix_remap_patches_the_built_lan_view_incrementally(self):
+        dataset = ObservedDataset(
+            ixp_prefixes={"185.1.0.0/24": "ixp-a", "185.2.0.0/24": "ixp-b"})
+        assert dataset.ixp_for_ip("185.2.0.9") == "ixp-b"
+        dataset.set_ixp_prefix("185.1.0.0/24", "ixp-c")
+        assert dataset.ixp_for_ip("185.1.0.9") == "ixp-c"
+        state = dataset._lan_state
+        assert state is not None and isinstance(state[1], LPMDeltaView)
+
+    def test_prefix_removal_rebuilds_lan_view(self):
+        dataset = ObservedDataset(
+            ixp_prefixes={"185.1.0.0/24": "ixp-a", "185.1.0.0/16": "ixp-wide"})
+        assert dataset.ixp_for_ip("185.1.0.9") == "ixp-a"
+        dataset.remove_ixp_prefix("185.1.0.0/24")
+        assert dataset.ixp_for_ip("185.1.0.9") == "ixp-wide"
+
+    def test_interface_reassignment_at_unchanged_size_is_visible(self):
+        dataset = ObservedDataset()
+        dataset.set_interface("185.1.0.1", "ixp-a", 65001)
+        assert dataset.interfaces_of_ixp("ixp-a") == {"185.1.0.1": 65001}
+        assert dataset.members_of_ixp("ixp-a") == {65001}
+        dataset.set_interface("185.1.0.1", "ixp-a", 65999)
+        assert dataset.interfaces_of_ixp("ixp-a") == {"185.1.0.1": 65999}
+        assert dataset.members_of_ixp("ixp-a") == {65999}
+
+    def test_direct_dict_mutation_keeps_the_legacy_contract(self):
+        dataset = ObservedDataset()
+        dataset.set_interface("185.1.0.1", "ixp-a", 65001)
+        assert dataset.members_of_ixp("ixp-a") == {65001}
+        # A raw poke at unchanged size is invisible (the legacy trap)...
+        dataset.interface_asn["185.1.0.1"] = 64000
+        assert dataset.members_of_ixp("ixp-a") == {65001}
+        # ...until the legacy escape hatch, now an opaque generation bump.
+        dataset.invalidate_caches()
+        assert dataset.members_of_ixp("ixp-a") == {64000}
+
+    def test_mutator_after_direct_poke_rebuilds_instead_of_patching_stale(self):
+        dataset = ObservedDataset(ixp_prefixes={"185.1.0.0/24": "ixp-a"})
+        assert dataset.ixp_for_ip("185.1.0.9") == "ixp-a"
+        # Direct grow (no generation bump), then a journalled re-map: the
+        # mutator must not stamp the stale view as fresh.
+        dataset.ixp_prefixes["185.2.0.0/24"] = "ixp-b"
+        dataset.set_ixp_prefix("185.1.0.0/24", "ixp-c")
+        assert dataset.ixp_for_ip("185.2.0.9") == "ixp-b"
+        assert dataset.ixp_for_ip("185.1.0.9") == "ixp-c"
+
+    def test_mutators_are_idempotent_without_generation_churn(self):
+        dataset = ObservedDataset()
+        assert dataset.set_interface("185.1.0.1", "ixp-a", 65001)
+        assert dataset.set_ixp_prefix("185.1.0.0/24", "ixp-a")
+        assert dataset.add_as_facility(65001, "fac-1")
+        generation = dataset.generation
+        # Re-applying the same records (an idempotent feed refresh) must not
+        # bump anything — downstream caches stay warm.
+        assert not dataset.set_interface("185.1.0.1", "ixp-a", 65001)
+        assert not dataset.set_ixp_prefix("185.1.0.0/24", "ixp-a")
+        assert not dataset.add_as_facility(65001, "fac-1")
+        assert dataset.generation == generation
+
+    def test_unknown_domains_and_attributes_fail_loudly(self):
+        from repro.exceptions import DataSourceError
+
+        dataset = ObservedDataset()
+        with pytest.raises(DataSourceError):
+            dataset.domain_token("interfacse")  # a declaration typo
+        with pytest.raises(DataSourceError):
+            dataset.set_attribute("facility_locations", "fac-1", None)
+        assert dataset.set_attribute("countries", 65001, "NL")
+
+    def test_domain_tokens_move_independently(self):
+        dataset = ObservedDataset()
+        dataset.set_interface("185.1.0.1", "ixp-a", 65001)
+        prefix_token = dataset.domain_token(DOMAIN_IXP_PREFIXES)
+        interface_token = dataset.domain_token(DOMAIN_INTERFACES)
+        location_token = dataset.domain_token(DOMAIN_FACILITY_LOCATIONS)
+        dataset.set_interface("185.1.0.2", "ixp-a", 65002)
+        assert dataset.domain_token(DOMAIN_INTERFACES) != interface_token
+        assert dataset.domain_token(DOMAIN_IXP_PREFIXES) == prefix_token
+        assert dataset.domain_token(DOMAIN_FACILITY_LOCATIONS) == location_token
+
+
+class TestRemerge:
+    def _snapshots(self, tiny_world, noise=None):
+        from repro.datasources.hurricane import HurricaneElectricSource
+        from repro.datasources.inflect import InflectSource
+        from repro.datasources.ixp_websites import IXPWebsiteSource
+        from repro.datasources.pch import PacketClearingHouseSource
+        from repro.datasources.peeringdb import PeeringDBSource
+
+        return [
+            IXPWebsiteSource(tiny_world, noise).snapshot(),
+            HurricaneElectricSource(tiny_world, noise).snapshot(),
+            PeeringDBSource(tiny_world, noise).snapshot(),
+            PacketClearingHouseSource(tiny_world, noise).snapshot(),
+            InflectSource(tiny_world, noise).snapshot(),
+        ]
+
+    def test_remerging_identical_snapshots_is_a_generation_noop(self, tiny_world):
+        from repro.config import DataSourceNoiseConfig
+        from repro.datasources.merge import DatasetMerger
+
+        # Noise creates conflicting records (e.g. PDB coordinates corrected
+        # by Inflect), so this also pins that the merge resolves each key
+        # *before* writing — intermediate lower-preference values must never
+        # reach the journal-emitting mutators.
+        noise = DataSourceNoiseConfig()
+        snapshots = self._snapshots(tiny_world, noise)
+        dataset, _ = DatasetMerger(snapshots).merge()
+        dataset.ixp_for_ip(next(iter(dataset.interface_ixp)))  # warm the LAN view
+        generation = dataset.generation
+        remerged, _ = DatasetMerger(
+            self._snapshots(tiny_world, noise)).merge(into=dataset)
+        assert remerged is dataset
+        assert dataset.generation == generation, (
+            "an idempotent feed refresh must not invalidate a single cache")
+
+    def test_remerge_emits_only_the_actual_differences(self, tiny_world):
+        from repro.datasources.merge import DOMAIN_INTERFACES, DatasetMerger
+        from repro.datasources.records import InterfaceRecord
+
+        snapshots = self._snapshots(tiny_world)
+        dataset, _ = DatasetMerger(snapshots).merge()
+        generation = dataset.generation
+        refreshed = self._snapshots(tiny_world)
+        victim = refreshed[0].interfaces[0]
+        refreshed[0].interfaces[0] = InterfaceRecord(
+            ip=victim.ip, asn=victim.asn + 7, ixp_id=victim.ixp_id,
+            source=victim.source)
+        DatasetMerger(refreshed).merge(into=dataset)
+        changes = dataset.journal.since(generation)
+        assert changes is not None
+        assert [c.domain for c in changes] == [DOMAIN_INTERFACES]
+        assert changes[0].key == victim.ip
+        assert dataset.interface_asn[victim.ip] == victim.asn + 7
+
+
+class TestGeoSelectiveEviction:
+    def _scenario(self):
+        scenario = build_scenario()
+        ams1 = scenario.add_facility("Amsterdam")
+        ams2 = scenario.add_facility("Amsterdam", offset_km=6.0)
+        fra = scenario.add_facility("Frankfurt")
+        ixp = scenario.add_ixp("AMS", [ams1, ams2], prefix="185.1.0.0/24")
+        scenario.add_as(65001, ams1)
+        scenario.add_as(65002, fra)
+        return scenario, ams1, ams2, fra, ixp
+
+    def test_facility_move_evicts_only_touching_memos(self):
+        scenario, ams1, ams2, fra, ixp = self._scenario()
+        dataset = scenario.dataset
+        index = GeoDistanceIndex(dataset)
+        origin = ams1.location
+        index.facility_distance_km(origin, ams2.facility_id)
+        index.facility_distance_km(origin, fra.facility_id)
+        index.ixp_profile(origin, ixp.ixp_id)
+        index.as_profile(origin, 65001)
+        index.as_profile(origin, 65002)
+        index.as_ixp_span_km(65001, ixp.ixp_id)
+        index.as_ixp_span_km(65002, ixp.ixp_id)
+        vote = index.majority_facility_vote(frozenset({65001, 65002}))
+
+        moved = offset_point(fra.location, 40.0, 90.0)
+        assert dataset.set_facility_location(fra.facility_id, moved)
+        # Lazily synced on the next lookup: untouched memos survive...
+        assert index.facility_distance_km(origin, ams2.facility_id) is not None
+        assert (origin, ams2.facility_id) in index._point_km
+        # ...while everything touching the moved facility was evicted.
+        assert (origin, fra.facility_id) not in index._point_km
+        assert (origin, ixp.ixp_id) in index._ixp_profiles
+        assert (origin, 65001) in index._as_profiles
+        assert (origin, 65002) not in index._as_profiles
+        assert (65001, ixp.ixp_id) in index._as_ixp_spans
+        assert (65002, ixp.ixp_id) not in index._as_ixp_spans
+        # ...votes depend only on colocation sets, never geometry.
+        assert index.majority_facility_vote(frozenset({65001, 65002})) == vote
+        assert index.incremental_evictions == 1
+        assert index.wholesale_invalidations == 0
+        # Recomputed values reflect the move, bit-identical to a fresh index.
+        fresh = GeoDistanceIndex(dataset)
+        assert index.facility_distance_km(origin, fra.facility_id) == (
+            fresh.facility_distance_km(origin, fra.facility_id))
+        assert index.as_ixp_span_km(65002, ixp.ixp_id) == (
+            fresh.as_ixp_span_km(65002, ixp.ixp_id))
+
+    def test_colocation_change_evicts_footprint_memos_and_votes(self):
+        scenario, ams1, ams2, fra, ixp = self._scenario()
+        dataset = scenario.dataset
+        index = GeoDistanceIndex(dataset)
+        origin = ams1.location
+        index.as_profile(origin, 65001)
+        index.as_profile(origin, 65002)
+        index.majority_facility_vote(frozenset({65001, 65002}))
+        assert dataset.add_as_facility(65001, fra.facility_id)
+        index.facility_distance_km(origin, ams1.facility_id)  # trigger sync
+        assert (origin, 65001) not in index._as_profiles
+        assert (origin, 65002) in index._as_profiles
+        assert frozenset({65001, 65002}) not in index._majority_votes
+        fresh = GeoDistanceIndex(dataset)
+        assert index.as_profile(origin, 65001) == fresh.as_profile(origin, 65001)
+        assert index.majority_facility_vote(frozenset({65001, 65002})) == (
+            fresh.majority_facility_vote(frozenset({65001, 65002})))
+
+    def test_vote_and_common_span_sync_even_as_first_lookup(self):
+        """Every memoised accessor must replay the journal, not just some.
+
+        In an ablation run (Steps 3/4 off) the Step 5 vote can be the first
+        geo call after a revision; it must not serve the stale memo.
+        """
+        scenario, ams1, ams2, fra, ixp = self._scenario()
+        dataset = scenario.dataset
+        index = GeoDistanceIndex(dataset)
+        stale_vote = index.majority_facility_vote(frozenset({65001}))
+        assert stale_vote == {ams1.facility_id}
+        index.common_facility_span_km(65001, ixp.ixp_id)
+        assert dataset.add_as_facility(65001, ams2.facility_id)
+        # No other accessor runs first: the vote itself must sync.
+        assert index.majority_facility_vote(frozenset({65001})) == {
+            ams1.facility_id, ams2.facility_id}
+        fresh = GeoDistanceIndex(dataset)
+        assert index.common_facility_span_km(65001, ixp.ixp_id) == (
+            fresh.common_facility_span_km(65001, ixp.ixp_id))
+
+    def test_opaque_bump_invalidates_wholesale(self):
+        scenario, ams1, ams2, fra, ixp = self._scenario()
+        dataset = scenario.dataset
+        index = GeoDistanceIndex(dataset)
+        index.facility_distance_km(ams1.location, fra.facility_id)
+        dataset.invalidate_caches()
+        index.facility_distance_km(ams1.location, ams2.facility_id)
+        assert index.wholesale_invalidations == 1
+        assert (ams1.location, fra.facility_id) not in index._point_km
+
+    def test_oversized_batch_invalidates_wholesale(self):
+        scenario, ams1, ams2, fra, ixp = self._scenario()
+        dataset = scenario.dataset
+        index = GeoDistanceIndex(dataset)
+        index.facility_distance_km(ams1.location, ams2.facility_id)
+        for step in range(70):
+            dataset.set_facility_location(
+                fra.facility_id, offset_point(fra.location, 1.0 + step, 10.0))
+        index.facility_distance_km(ams1.location, fra.facility_id)
+        assert index.wholesale_invalidations == 1
+
+    def test_direct_mutation_still_requires_manual_invalidate(self):
+        scenario, ams1, ams2, fra, ixp = self._scenario()
+        dataset = scenario.dataset
+        index = GeoDistanceIndex(dataset)
+        before = index.facility_distance_km(ams1.location, fra.facility_id)
+        dataset.facility_locations[fra.facility_id] = offset_point(
+            fra.location, 40.0, 90.0)
+        assert index.facility_distance_km(ams1.location, fra.facility_id) == before
+        index.invalidate()
+        assert index.facility_distance_km(ams1.location, fra.facility_id) != before
+
+
+class TestCorpusDetectionIndex:
+    def _fixture(self):
+        from repro.measurement.results import TracerouteCorpus
+        from repro.routing.forwarding import ForwardingHop, ForwardingPath
+        from repro.traixroute.detector import CorpusDetectionIndex
+
+        dataset = ObservedDataset()
+        dataset.set_ixp_prefix("185.1.0.0/24", "ixp-a")
+        dataset.set_interface("185.1.0.1", "ixp-a", 65001)
+        dataset.set_interface("185.1.0.2", "ixp-a", 65002)
+        prefix2as = Prefix2ASMap()
+        prefix2as.add("10.1.0.0/16", 65001)
+        prefix2as.add("10.2.0.0/16", 65002)
+        prefix2as.add("10.3.0.0/16", 65003)
+
+        def hop(ip):
+            return ForwardingHop(ip=ip, asn=None, rtt_ms=1.0)
+
+        crossing_path = ForwardingPath(
+            source_asn=65001, destination_asn=65002, destination_ip="10.2.0.9",
+            hops=[hop("10.1.0.9"), hop("185.1.0.2"), hop("10.2.0.9")])
+        plain_path = ForwardingPath(
+            source_asn=65001, destination_asn=65003, destination_ip="10.3.0.9",
+            hops=[hop("10.1.0.9"), hop("10.3.0.9")])
+        corpus = TracerouteCorpus(paths=[crossing_path, plain_path])
+        index = CorpusDetectionIndex(dataset, prefix2as, corpus)
+        return dataset, prefix2as, corpus, index
+
+    def _reference(self, dataset, prefix2as, corpus):
+        from repro.traixroute.detector import CrossingDetector
+
+        detector = CrossingDetector(dataset, prefix2as)
+        return (detector.detect_corpus(corpus),
+                detector.private_adjacencies_corpus(corpus))
+
+    def test_initial_results_match_a_fresh_detector(self):
+        dataset, prefix2as, corpus, index = self._fixture()
+        assert index.results() == self._reference(dataset, prefix2as, corpus)
+        crossings, _ = index.results()
+        assert [c.ixp_id for c in crossings] == ["ixp-a"]
+        assert index.full_scans == 1
+
+    def test_prefix_remap_redetects_only_touched_paths(self):
+        dataset, prefix2as, corpus, index = self._fixture()
+        index.results()
+        # Re-mapping the entry prefix makes entry AS == far AS: the crossing
+        # must disappear, via selective re-detection, not a full re-scan.
+        prefix2as.add("10.1.0.0/16", 65002)
+        assert index.results() == self._reference(dataset, prefix2as, corpus)
+        crossings, _ = index.results()
+        assert crossings == []
+        assert index.full_scans == 1
+        assert index.paths_redetected == 2  # both paths contain 10.1.0.9
+
+    def test_untouched_prefix_remap_redetects_nothing(self):
+        dataset, prefix2as, corpus, index = self._fixture()
+        index.results()
+        prefix2as.add("172.16.0.0/12", 65009)
+        assert index.results() == self._reference(dataset, prefix2as, corpus)
+        assert index.paths_redetected == 0
+        assert index.full_scans == 1
+
+    def test_lan_prefix_remap_is_selective_too(self):
+        dataset, prefix2as, corpus, index = self._fixture()
+        before, _ = index.results()
+        assert before
+        dataset.set_ixp_prefix("185.1.0.0/24", "ixp-gone")
+        assert index.results() == self._reference(dataset, prefix2as, corpus)
+        crossings, _ = index.results()
+        assert crossings == []  # rule 3: members of "ixp-gone" are unknown
+        assert index.full_scans == 1
+
+    def test_colocation_change_refreshes_rule3_membership(self):
+        """A journalled ixp_facilities change can make an IXP known."""
+        from repro.measurement.results import TracerouteCorpus
+        from repro.routing.forwarding import ForwardingHop, ForwardingPath
+        from repro.traixroute.detector import CorpusDetectionIndex
+
+        dataset = ObservedDataset()
+        # ixp-b is referenced by interfaces only: it is outside ixp_ids()
+        # (no LAN prefix, no facility), so rule 3 suppresses its crossings.
+        dataset.set_interface("185.9.0.1", "ixp-b", 65001)
+        dataset.set_interface("185.9.0.2", "ixp-b", 65002)
+        prefix2as = Prefix2ASMap()
+        prefix2as.add("10.1.0.0/16", 65001)
+        prefix2as.add("10.2.0.0/16", 65002)
+
+        def hop(ip):
+            return ForwardingHop(ip=ip, asn=None, rtt_ms=1.0)
+
+        corpus = TracerouteCorpus(paths=[ForwardingPath(
+            source_asn=65001, destination_asn=65002, destination_ip="10.2.0.9",
+            hops=[hop("10.1.0.9"), hop("185.9.0.2"), hop("10.2.0.9")])])
+        index = CorpusDetectionIndex(dataset, prefix2as, corpus)
+        assert index.results()[0] == []
+        # The colocation record brings ixp-b into ixp_ids(): the crossing
+        # must appear without a full re-scan, exactly as a fresh detector
+        # would report it.
+        assert dataset.add_ixp_facility("ixp-b", "fac-1")
+        assert index.results() == self._reference(dataset, prefix2as, corpus)
+        crossings, _ = index.results()
+        assert [c.ixp_id for c in crossings] == ["ixp-b"]
+        assert index.full_scans == 1
+        assert index.paths_redetected == 1
+
+    def test_interface_change_rebuilds(self):
+        dataset, prefix2as, corpus, index = self._fixture()
+        index.results()
+        dataset.set_interface("185.1.0.2", "ixp-a", 65003)
+        assert index.results() == self._reference(dataset, prefix2as, corpus)
+        assert index.full_scans == 2
+
+    def test_corpus_growth_detects_only_appended_paths(self):
+        from repro.routing.forwarding import ForwardingHop, ForwardingPath
+
+        dataset, prefix2as, corpus, index = self._fixture()
+        index.results()
+
+        def hop(ip):
+            return ForwardingHop(ip=ip, asn=None, rtt_ms=1.0)
+
+        corpus.extend([ForwardingPath(
+            source_asn=65002, destination_asn=65001, destination_ip="10.1.0.9",
+            hops=[hop("10.2.0.9"), hop("185.1.0.1"), hop("10.1.0.9")])])
+        assert index.results() == self._reference(dataset, prefix2as, corpus)
+        crossings, _ = index.results()
+        assert len(crossings) == 2
+        assert index.full_scans == 1
+        assert index.paths_redetected == 0
+
+
+class TestStepResultCacheBudget:
+    def test_lru_entry_budget_evicts_coldest(self):
+        cache = StepResultCache(max_entries=2)
+        cache.get_or_compute("s", "k1", lambda: "v1")
+        cache.get_or_compute("s", "k2", lambda: "v2")
+        cache.get_or_compute("s", "k1", lambda: "v1")  # refresh k1's recency
+        cache.get_or_compute("s", "k3", lambda: "v3")  # evicts k2, not k1
+        assert len(cache) == 2
+        hits_before = cache.stats["s"].hits
+        cache.get_or_compute("s", "k1", lambda: "rebuilt")
+        assert cache.stats["s"].hits == hits_before + 1
+        cache.get_or_compute("s", "k2", lambda: "rebuilt")
+        assert cache.stats["s"].misses == 4
+        assert cache.stats["s"].evictions >= 1
+
+    def test_byte_budget_and_stats_snapshot(self):
+        cache = StepResultCache(max_bytes=1)
+        cache.get_or_compute("a", "k1", lambda: ("x",) * 100)
+        # The most recent entry survives even when it alone exceeds the
+        # budget; the next insert evicts it.
+        assert len(cache) == 1
+        cache.get_or_compute("b", "k2", lambda: ("y",) * 100)
+        assert len(cache) == 1
+        stats = cache.eviction_stats()
+        assert stats["entries"] == 1
+        assert stats["evictions"] == 1
+        assert stats["evictions_by_step"] == {"a": 1}
+        assert stats["max_bytes"] == 1
+        assert stats["total_bytes"] > 0
+
+    def test_unbudgeted_cache_never_evicts(self):
+        cache = StepResultCache()
+        for index in range(100):
+            cache.get_or_compute("s", f"k{index}", lambda: index)
+        assert len(cache) == 100
+        assert cache.eviction_stats()["evictions"] == 0
+
+    def test_budget_kwargs_with_explicit_cache_are_rejected(self, revision_study):
+        from repro.exceptions import InferenceError
+
+        with pytest.raises(InferenceError):
+            PipelineEngine(
+                revision_study.inputs, cache=StepResultCache(), cache_max_entries=5)
+
+
+@pytest.fixture(scope="module")
+def revision_study() -> RemotePeeringStudy:
+    """A private tiny study this module may mutate across its tests."""
+    study = RemotePeeringStudy(ExperimentConfig.tiny(seed=21))
+    study.outcome  # materialise the pipeline through the shared engine
+    return study
+
+
+def _stats_snapshot(engine: PipelineEngine) -> dict[str, tuple[int, int]]:
+    return {
+        label: (stats.hits, stats.misses)
+        for label, stats in engine.cache.stats.items()
+    }
+
+
+def _fresh_outcome(study: RemotePeeringStudy):
+    """Rebuild everything from the current dataset state (the reference)."""
+    prefix2as = Prefix2ASMap()
+    for prefix, asn in study.prefix2as._prefixes.items():
+        prefix2as.add(prefix, asn)
+    inputs = InferenceInputs(
+        dataset=study.dataset,
+        ping_result=study.ping_result,
+        corpus=study.traceroute_corpus,
+        prefix2as=prefix2as,
+        alias_resolver=study.alias_resolver,
+        geo_index=GeoDistanceIndex(study.dataset),
+    )
+    engine = PipelineEngine(inputs, delay_model=study.delay_model)
+    return engine.run(study.config.inference, study.studied_ixp_ids)
+
+
+class TestEngineCrossRevisionReuse:
+    def test_facility_move_reuses_geometry_free_steps(self, revision_study):
+        study = revision_study
+        engine = study.engine
+        facility_id = sorted(study.dataset.facility_locations)[0]
+        moved = offset_point(
+            study.dataset.facility_locations[facility_id], 35.0, 120.0)
+        assert study.dataset.set_facility_location(facility_id, moved)
+
+        before = _stats_snapshot(engine)
+        outcome = engine.run(study.config.inference, study.studied_ixp_ids)
+        after = _stats_snapshot(engine)
+
+        for reused in ("step1", "step2", "traceroute", "baseline"):
+            assert after[reused][1] == before[reused][1], (
+                f"{reused} must replay from cache across a facility move")
+            assert after[reused][0] > before[reused][0]
+        for recomputed in ("step3", "step4", "step5"):
+            assert after[recomputed][1] > before[recomputed][1], (
+                f"{recomputed} must recompute after a facility move")
+
+        fresh = _fresh_outcome(study)
+        assert outcome.report == fresh.report
+        assert outcome.baseline_report == fresh.baseline_report
+
+    def test_prefix2as_remap_reuses_the_whole_per_ixp_layer(self, revision_study):
+        study = revision_study
+        engine = study.engine
+        prefixes = sorted(study.prefix2as._prefixes)
+        victims = prefixes[:: max(1, len(prefixes) // 3)][:3]
+        for prefix in victims:
+            study.prefix2as.add(prefix, study.prefix2as._prefixes[prefix] + 1)
+        assert study.prefix2as.incremental_patches >= len(victims)
+
+        before = _stats_snapshot(engine)
+        outcome = engine.run(study.config.inference, study.studied_ixp_ids)
+        after = _stats_snapshot(engine)
+
+        for reused in ("step1", "step2", "step3", "baseline"):
+            assert after[reused][1] == before[reused][1], (
+                f"{reused} must replay from cache across a prefix2as re-map")
+        for recomputed in ("traceroute", "step4", "step5"):
+            assert after[recomputed][1] > before[recomputed][1], (
+                f"{recomputed} must recompute after a prefix2as re-map")
+
+        fresh = _fresh_outcome(study)
+        assert outcome.report == fresh.report
+        assert outcome.baseline_report == fresh.baseline_report
+
+    def test_config_and_revision_staleness_compose(self, revision_study):
+        study = revision_study
+        engine = study.engine
+        config = replace(study.config.inference, enable_step5_private_links=False)
+        before = _stats_snapshot(engine)
+        engine.run(config, study.studied_ixp_ids)
+        after = _stats_snapshot(engine)
+        # No data changed: only the step5 re-key misses; everything else hits.
+        for reused in ("step1", "step2", "step3", "step4", "traceroute", "baseline"):
+            assert after[reused][1] == before[reused][1]
+        assert after["step5"][1] == before["step5"][1] + 1
