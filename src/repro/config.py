@@ -299,13 +299,12 @@ def config_fingerprint(
     desynchronise the cache from the config values the step actually reads.
     """
     known = {f.name for f in fields(InferenceConfig)}
-    pairs: list[tuple[str, object]] = []
-    for name in sorted(field_names):
-        if name not in known:
-            raise ConfigurationError(
-                f"unknown InferenceConfig field {name!r} in fingerprint declaration")
-        pairs.append((name, getattr(config, name)))
-    return tuple(pairs)
+    unknown = sorted(name for name in field_names if name not in known)
+    if unknown:
+        listed = ", ".join(repr(name) for name in unknown)
+        raise ConfigurationError(
+            f"unknown InferenceConfig field(s) {listed} in fingerprint declaration")
+    return tuple((name, getattr(config, name)) for name in sorted(field_names))
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,82 @@
+"""Static contract checker for the reproduction pipeline.
+
+Three rule families police the contracts the runtime machinery relies on
+but cannot itself see:
+
+1. **Step-declaration completeness** (:mod:`repro.contracts.stepdecl`) —
+   every ``STEP_GRAPH`` node's implementation must read exactly the config
+   fields, dataset domains and versioned inputs it declares; the
+   declarations feed the step-result cache keys, so an undeclared read is a
+   stale-cache bug and an unused declaration is a spurious invalidation.
+2. **Mutation discipline** (:mod:`repro.contracts.mutation`) — the backing
+   collections of :class:`~repro.versioning.Versioned` containers may only
+   be mutated from their own modules, where the journal-emitting mutators
+   live.
+3. **Read-only outcomes** (:mod:`repro.contracts.readonly`) — replayed
+   :class:`~repro.core.engine.PipelineOutcome` values are shared by the
+   cache and must not be mutated by experiment/analysis/validation code.
+
+Run it three ways: ``python -m repro.contracts`` (the CLI, wired into CI),
+``tests/test_contracts.py`` (tier-1, over the live tree and over seeded-bug
+fixtures) and :mod:`repro.contracts.dynamic` (a runtime cross-check that
+records the accesses an actual pipeline run performs and asserts they are a
+subset of the declarations).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.contracts.model import (
+    ContractCheckError,
+    ContractReport,
+    Violation,
+    Waiver,
+    apply_waivers,
+    parse_waivers,
+)
+from repro.contracts.mutation import check_mutation_discipline
+from repro.contracts.readonly import check_readonly_outcomes
+from repro.contracts.stepdecl import check_step_declarations
+from repro.contracts.tree import SourceTree
+
+__all__ = [
+    "ContractCheckError",
+    "ContractReport",
+    "SourceTree",
+    "Violation",
+    "Waiver",
+    "apply_waivers",
+    "check_mutation_discipline",
+    "check_readonly_outcomes",
+    "check_step_declarations",
+    "collect_violations",
+    "parse_waivers",
+    "run_all",
+]
+
+
+def collect_violations(tree: SourceTree) -> list[Violation]:
+    """All three rule families over one tree, in a stable order."""
+    violations: list[Violation] = []
+    violations.extend(check_step_declarations(tree))
+    violations.extend(check_mutation_discipline(tree))
+    violations.extend(check_readonly_outcomes(tree))
+    return violations
+
+
+def run_all(root: Path, waivers_path: Path | None = None) -> ContractReport:
+    """Check the package rooted at ``root``, applying an optional waiver file.
+
+    ``root`` is the package directory itself (``<repo>/src/repro``).  A
+    missing waiver file is an error when explicitly given, and means "no
+    waivers" when ``None``.
+    """
+    tree = SourceTree(root)
+    violations = collect_violations(tree)
+    waivers: dict[str, Waiver] = {}
+    if waivers_path is not None:
+        if not waivers_path.is_file():
+            raise ContractCheckError(f"waiver file not found: {waivers_path}")
+        waivers = parse_waivers(waivers_path)
+    return apply_waivers(violations, waivers)

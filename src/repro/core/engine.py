@@ -640,12 +640,7 @@ class PipelineEngine:
 
         rtt_summary = RTTCampaignSummary()
         for results in per_ixp:
-            part = results.summary
-            rtt_summary.observations.update(part.observations)
-            rtt_summary.usable_vps.update(part.usable_vps)
-            rtt_summary.discarded_vps.update(part.discarded_vps)
-            rtt_summary.queried_per_vp.update(part.queried_per_vp)
-            rtt_summary.responsive_per_vp.update(part.responsive_per_vp)
+            rtt_summary.merge_from(results.summary)
 
         return PipelineOutcome(
             ixp_ids=list(ixp_ids),

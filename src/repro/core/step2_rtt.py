@@ -82,6 +82,20 @@ class RTTCampaignSummary(Versioned):
         """Re-key the derived index; the next accessor call rebuilds it."""
         self.bump_generation()
 
+    def merge_from(self, part: "RTTCampaignSummary") -> None:
+        """Fold another summary's entries into this one (later parts win).
+
+        This is the journal-honouring way to assemble a campaign-wide
+        summary from per-IXP parts: one generation bump covers the whole
+        merge, so the ``_keys_by_ixp`` index can never survive it stale.
+        """
+        self.observations.update(part.observations)
+        self.usable_vps.update(part.usable_vps)
+        self.discarded_vps.update(part.discarded_vps)
+        self.queried_per_vp.update(part.queried_per_vp)
+        self.responsive_per_vp.update(part.responsive_per_vp)
+        self.bump_generation()
+
     def observation_for(self, ixp_id: str, interface_ip: str) -> RTTObservation | None:
         """The kept observation for one interface, if any."""
         return self.observations.get((ixp_id, interface_ip))

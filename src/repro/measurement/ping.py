@@ -74,7 +74,7 @@ class PingCampaign:
         result = PingCampaignResult()
         for ixp_id in ixp_ids:
             for vp in plan.get(ixp_id, []):
-                result.vantage_points[vp.vp_id] = vp
+                result.register_vantage_point(vp)
                 self._measure_from_vp(vp, result)
         return result
 

@@ -92,6 +92,16 @@ class PingCampaignResult(Versioned):
         self.route_server_series.append(series)
         self.bump_generation()
 
+    def register_vantage_point(self, vp: "VantagePoint") -> None:  # noqa: F821
+        """Record a vantage point the campaign measures from.
+
+        Registration changes the version token (``len(vantage_points)``
+        participates, and the generation bump covers re-registration of an
+        existing VP id), so cached Step 2 results re-key.
+        """
+        self.vantage_points[vp.vp_id] = vp
+        self.bump_generation()
+
     def _build_series_index(
         self,
     ) -> tuple[dict[str, list[PingSeries]], dict[str, list[PingSeries]]]:

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import ipaddress
 from bisect import bisect_right
-from typing import Generic, Iterable, Mapping, TypeVar
+from typing import Generic, Iterable, Mapping, TypeVar, cast
 
 V = TypeVar("V")
 
@@ -158,7 +158,8 @@ class LPMIndex(Generic[V]):
         """
         cached = self._memo.get(ip, _UNCACHED)
         if cached is not _UNCACHED:
-            return cached
+            # The sentinel is filtered out above; narrow for the checker.
+            return cast("tuple[V, int] | None", cached)
         address = ipaddress.ip_address(ip)
         numeric = int(address)
         match: tuple[V, int] | None = None
@@ -255,7 +256,8 @@ class LPMDeltaView(Generic[V]):
         """``(value, prefixlen)`` of the longest match across base and overlay."""
         cached = self._memo.get(ip, _UNCACHED)
         if cached is not _UNCACHED:
-            return cached
+            # The sentinel is filtered out above; narrow for the checker.
+            return cast("tuple[V, int] | None", cached)
         address = ipaddress.ip_address(ip)
         numeric = int(address)
         max_prefixlen = address.max_prefixlen

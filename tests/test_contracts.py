@@ -1,0 +1,522 @@
+"""Tier-1 tests for the static contract checker and its dynamic cross-check.
+
+Three layers:
+
+* the **live tree** must be contract-clean (that is the whole point of the
+  subsystem — PR 6 fixed every real violation it surfaced);
+* **seeded-bug fixtures** — patched copies of the tree with one contract
+  violation each — must be caught with the right rule, file and line, and a
+  clean drop-in module must produce zero false positives;
+* the **dynamic cross-check** must run the full pipeline on the standard
+  tiny synthetic world with a bit-identical outcome, and must catch the
+  same seeded undeclared config read the static rule catches.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.contracts import (
+    ContractCheckError,
+    SourceTree,
+    check_mutation_discipline,
+    check_readonly_outcomes,
+    check_step_declarations,
+    collect_violations,
+    parse_waivers,
+    run_all,
+)
+from repro.contracts.dynamic import run_dynamic_cross_check
+from repro.core.step5_private_links import PrivateConnectivityStep
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+WAIVERS = REPO_ROOT / "contracts-waivers.txt"
+
+
+def _copy_tree(tmp_path: Path) -> Path:
+    destination = tmp_path / "repro"
+    shutil.copytree(
+        SRC_ROOT, destination, ignore=shutil.ignore_patterns("__pycache__")
+    )
+    return destination
+
+
+def _patch(root: Path, relative: str, old: str, new: str) -> None:
+    path = root / relative
+    text = path.read_text(encoding="utf-8")
+    assert old in text, f"fixture anchor not found in {relative}: {old!r}"
+    path.write_text(text.replace(old, new, 1), encoding="utf-8")
+
+
+def _line_of(root: Path, relative: str, marker: str) -> int:
+    for lineno, line in enumerate(
+        (root / relative).read_text(encoding="utf-8").splitlines(), 1
+    ):
+        if marker in line:
+            return lineno
+    raise AssertionError(f"marker {marker!r} not found in {relative}")
+
+
+def _cli(*args: str) -> subprocess.CompletedProcess[str]:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.contracts", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+# --------------------------------------------------------------------- #
+# The live tree
+# --------------------------------------------------------------------- #
+class TestLiveTree:
+    def test_live_tree_is_contract_clean(self):
+        report = run_all(SRC_ROOT, WAIVERS if WAIVERS.is_file() else None)
+        assert report.ok, "\n".join(v.message for v in report.violations)
+
+    def test_live_tree_has_no_unused_waivers(self):
+        report = run_all(SRC_ROOT, WAIVERS if WAIVERS.is_file() else None)
+        assert report.unused_waivers == []
+
+    def test_cli_exits_zero_on_live_tree(self):
+        completed = _cli()
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        assert "0 violation(s)" in completed.stdout
+
+
+# --------------------------------------------------------------------- #
+# Rule 1: step-declaration completeness (seeded fixtures)
+# --------------------------------------------------------------------- #
+class TestStepDeclarations:
+    def test_undeclared_config_read_is_caught_with_file_and_line(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        _patch(
+            root,
+            "core/engine.py",
+            "        if config.enable_step1_port_capacity:",
+            "        if config.enable_step1_port_capacity and "
+            "config.strong_remote_rtt_ms >= 0:  # seeded-config-read",
+        )
+        violations = check_step_declarations(SourceTree(root))
+        matching = [
+            v
+            for v in violations
+            if v.kind == "undeclared-config-read" and v.context == "step1"
+        ]
+        assert len(matching) == 1
+        violation = matching[0]
+        assert violation.detail == "strong_remote_rtt_ms"
+        assert violation.path.endswith("core/engine.py")
+        assert violation.line == _line_of(root, "core/engine.py", "seeded-config-read")
+        assert violation.key == (
+            "step-decl:undeclared-config-read:step1:strong_remote_rtt_ms"
+        )
+
+    def test_undeclared_domain_read_is_caught_with_file_and_line(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        _patch(
+            root,
+            "core/engine.py",
+            "    def _compute_step1(self, config, ixp_id) -> tuple[tuple, ...]:\n"
+            "        report = _RecordingReport()",
+            "    def _compute_step1(self, config, ixp_id) -> tuple[tuple, ...]:\n"
+            "        self.inputs.dataset.facility_location('FAC-1')  # seeded-domain\n"
+            "        report = _RecordingReport()",
+        )
+        violations = check_step_declarations(SourceTree(root))
+        matching = [
+            v
+            for v in violations
+            if v.kind == "undeclared-domain-read" and v.context == "step1"
+        ]
+        assert len(matching) == 1
+        violation = matching[0]
+        assert violation.detail == "facility_locations"
+        assert violation.line == _line_of(root, "core/engine.py", "seeded-domain")
+
+    def test_unused_config_declaration_is_caught(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        _patch(
+            root,
+            "core/engine.py",
+            'config_fields=("enable_step1_port_capacity",),',
+            'config_fields=("enable_step1_port_capacity", "strong_remote_rtt_ms"),',
+        )
+        violations = check_step_declarations(SourceTree(root))
+        matching = [v for v in violations if v.kind == "unused-config-field"]
+        assert [v.detail for v in matching] == ["strong_remote_rtt_ms"]
+        assert matching[0].context == "step1"
+
+    def test_clean_tree_has_no_step_declaration_findings(self):
+        assert check_step_declarations(SourceTree(SRC_ROOT)) == []
+
+
+# --------------------------------------------------------------------- #
+# Rule 2: mutation discipline (seeded fixtures)
+# --------------------------------------------------------------------- #
+class TestMutationDiscipline:
+    def test_direct_dict_mutation_is_caught_with_file_and_line(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        fixture = root / "experiments" / "_fixture_mutation.py"
+        fixture.write_text(
+            "from repro.datasources.merge import ObservedDataset\n"
+            "\n"
+            "\n"
+            "def corrupt(dataset: ObservedDataset) -> None:\n"
+            '    dataset.as_facilities[65000] = {"FAC-1"}  # seeded-mutation\n',
+            encoding="utf-8",
+        )
+        violations = check_mutation_discipline(SourceTree(root))
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.kind == "direct-mutation"
+        assert violation.detail == "as_facilities:subscript-assignment"
+        assert violation.context == "repro.experiments._fixture_mutation:corrupt"
+        assert violation.path.endswith("experiments/_fixture_mutation.py")
+        assert violation.line == _line_of(
+            root, "experiments/_fixture_mutation.py", "seeded-mutation"
+        )
+
+    def test_mutation_through_alias_is_caught(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        fixture = root / "experiments" / "_fixture_alias.py"
+        fixture.write_text(
+            "from repro.datasources.merge import ObservedDataset\n"
+            "\n"
+            "\n"
+            "def corrupt(dataset: ObservedDataset) -> None:\n"
+            "    backing = dataset.ixp_facilities\n"
+            '    backing["ixp"] = set()  # seeded-alias-mutation\n',
+            encoding="utf-8",
+        )
+        violations = check_mutation_discipline(SourceTree(root))
+        assert [v.detail for v in violations] == [
+            "ixp_facilities:subscript-assignment-via-alias"
+        ]
+
+    def test_mutator_calls_and_local_containers_are_not_flagged(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        fixture = root / "experiments" / "_fixture_clean.py"
+        fixture.write_text(
+            "from repro.datasources.merge import ObservedDataset\n"
+            "\n"
+            "\n"
+            "def fine(dataset: ObservedDataset) -> dict:\n"
+            "    # Journalled mutator: allowed anywhere.\n"
+            '    dataset.add_as_facility(65000, "FAC-1")\n'
+            "    # A local container that merely *copies* versioned data.\n"
+            "    mine: dict = {}\n"
+            "    mine.update(dataset.as_facilities)\n"
+            '    mine["x"] = 1\n'
+            "    mine.clear()\n"
+            "    return mine\n",
+            encoding="utf-8",
+        )
+        assert check_mutation_discipline(SourceTree(root)) == []
+
+    def test_live_tree_has_no_mutation_findings(self):
+        assert check_mutation_discipline(SourceTree(SRC_ROOT)) == []
+
+
+# --------------------------------------------------------------------- #
+# Rule 3: read-only outcomes (seeded fixtures)
+# --------------------------------------------------------------------- #
+class TestReadonlyOutcomes:
+    def test_outcome_mutation_is_caught(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        fixture = root / "analysis" / "_fixture_readonly.py"
+        fixture.write_text(
+            "from repro.core.engine import PipelineOutcome\n"
+            "\n"
+            "\n"
+            "def tamper(outcome: PipelineOutcome) -> None:\n"
+            "    outcome.crossings.append(None)  # seeded-readonly-append\n"
+            '    outcome.feasible["x"] = None  # seeded-readonly-setitem\n',
+            encoding="utf-8",
+        )
+        violations = check_readonly_outcomes(SourceTree(root))
+        assert sorted(v.detail for v in violations) == [
+            "crossings:.append()",
+            "feasible:element-assignment",
+        ]
+        assert {v.kind for v in violations} == {"outcome-mutation"}
+        assert violations[0].line == _line_of(
+            root, "analysis/_fixture_readonly.py", "seeded-readonly-append"
+        )
+
+    def test_taint_propagates_through_sweep_and_loops(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        fixture = root / "analysis" / "_fixture_sweep.py"
+        fixture.write_text(
+            "def tamper(study) -> None:\n"
+            "    outcomes = study.sweep([])\n"
+            "    for outcome in outcomes.values():\n"
+            "        outcome.report.results.clear()  # seeded-sweep-mutation\n",
+            encoding="utf-8",
+        )
+        violations = check_readonly_outcomes(SourceTree(root))
+        assert [v.detail for v in violations] == ["results:.clear()"]
+
+    def test_fresh_local_objects_are_not_flagged(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        fixture = root / "analysis" / "_fixture_clean.py"
+        fixture.write_text(
+            "from repro.core.engine import PipelineOutcome\n"
+            "\n"
+            "\n"
+            "def summarise(outcome: PipelineOutcome) -> dict:\n"
+            "    counts: dict = {}\n"
+            "    for crossing in outcome.crossings:\n"
+            "        counts[crossing.ixp_id] = counts.get(crossing.ixp_id, 0) + 1\n"
+            "    ordered = sorted(counts)\n"
+            "    counts.update({'total': len(ordered)})\n"
+            "    return counts\n",
+            encoding="utf-8",
+        )
+        assert check_readonly_outcomes(SourceTree(root)) == []
+
+    def test_live_tree_has_no_readonly_findings(self):
+        assert check_readonly_outcomes(SourceTree(SRC_ROOT)) == []
+
+
+# --------------------------------------------------------------------- #
+# Waivers
+# --------------------------------------------------------------------- #
+class TestWaivers:
+    def test_waiver_requires_justification_comment(self, tmp_path):
+        waiver_file = tmp_path / "waivers.txt"
+        waiver_file.write_text("mutation:direct-mutation:m:f\n", encoding="utf-8")
+        with pytest.raises(ContractCheckError, match="no justification"):
+            parse_waivers(waiver_file)
+
+    def test_duplicate_waiver_is_rejected(self, tmp_path):
+        waiver_file = tmp_path / "waivers.txt"
+        waiver_file.write_text(
+            "# reason one\nsome:key:a:b\n\n# reason two\nsome:key:a:b\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(ContractCheckError, match="duplicate"):
+            parse_waivers(waiver_file)
+
+    def test_blank_line_resets_pending_justification(self, tmp_path):
+        waiver_file = tmp_path / "waivers.txt"
+        waiver_file.write_text("# orphaned comment\n\nsome:key:a:b\n", encoding="utf-8")
+        with pytest.raises(ContractCheckError, match="no justification"):
+            parse_waivers(waiver_file)
+
+    def test_waiver_suppresses_a_seeded_violation(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        _patch(
+            root,
+            "core/engine.py",
+            "        if config.enable_step1_port_capacity:",
+            "        if config.enable_step1_port_capacity and "
+            "config.strong_remote_rtt_ms >= 0:",
+        )
+        waiver_file = tmp_path / "waivers.txt"
+        waiver_file.write_text(
+            "# Seeded for the self-test; the read is deliberate.\n"
+            "step-decl:undeclared-config-read:step1:strong_remote_rtt_ms\n",
+            encoding="utf-8",
+        )
+        report = run_all(root, waiver_file)
+        assert report.ok
+        assert [v.key for v in report.waived] == [
+            "step-decl:undeclared-config-read:step1:strong_remote_rtt_ms"
+        ]
+        assert report.unused_waivers == []
+
+    def test_unused_waiver_is_reported_but_does_not_fail(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        waiver_file = tmp_path / "waivers.txt"
+        waiver_file.write_text(
+            "# Left over from a fixed violation.\nstale:key:a:b\n", encoding="utf-8"
+        )
+        report = run_all(root, waiver_file)
+        assert report.ok
+        assert [w.key for w in report.unused_waivers] == ["stale:key:a:b"]
+
+
+# --------------------------------------------------------------------- #
+# The CLI
+# --------------------------------------------------------------------- #
+class TestCli:
+    def test_cli_exits_one_per_seeded_fixture(self, tmp_path):
+        for name, relative, old, new in (
+            (
+                "config",
+                "core/engine.py",
+                "        if config.enable_step1_port_capacity:",
+                "        if config.enable_step1_port_capacity and "
+                "config.strong_remote_rtt_ms >= 0:",
+            ),
+            (
+                "domain",
+                "core/engine.py",
+                "    def _compute_step1(self, config, ixp_id) "
+                "-> tuple[tuple, ...]:\n        report = _RecordingReport()",
+                "    def _compute_step1(self, config, ixp_id) "
+                "-> tuple[tuple, ...]:\n"
+                "        self.inputs.dataset.facility_location('F')\n"
+                "        report = _RecordingReport()",
+            ),
+        ):
+            root = _copy_tree(tmp_path / name)
+            _patch(root, relative, old, new)
+            completed = _cli("--root", str(root), "--no-waivers")
+            assert completed.returncode == 1, completed.stdout + completed.stderr
+            assert "1 violation(s)" in completed.stdout
+
+    def test_cli_exits_two_on_malformed_waiver_file(self, tmp_path):
+        waiver_file = tmp_path / "waivers.txt"
+        waiver_file.write_text("unjustified:key:a:b\n", encoding="utf-8")
+        completed = _cli("--waivers", str(waiver_file))
+        assert completed.returncode == 2
+        assert "no justification" in completed.stderr
+
+    def test_cli_json_format_is_machine_readable(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        fixture = root / "experiments" / "_fixture_mutation.py"
+        fixture.write_text(
+            "from repro.datasources.merge import ObservedDataset\n"
+            "\n"
+            "\n"
+            "def corrupt(dataset: ObservedDataset) -> None:\n"
+            "    dataset.interface_asn.clear()\n",
+            encoding="utf-8",
+        )
+        completed = _cli("--root", str(root), "--no-waivers", "--format=json")
+        assert completed.returncode == 1
+        document = json.loads(completed.stdout)
+        assert document["ok"] is False
+        assert document["summary"]["violations"] == 1
+        (violation,) = document["violations"]
+        assert violation["detail"] == "interface_asn:.clear()"
+        assert violation["key"].startswith("mutation:direct-mutation:")
+
+    def test_cli_github_format_emits_error_annotations(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        fixture = root / "experiments" / "_fixture_mutation.py"
+        fixture.write_text(
+            "from repro.datasources.merge import ObservedDataset\n"
+            "\n"
+            "\n"
+            "def corrupt(dataset: ObservedDataset) -> None:\n"
+            "    del dataset.port_capacities[('a', 'b')]\n",
+            encoding="utf-8",
+        )
+        completed = _cli("--root", str(root), "--no-waivers", "--format=github")
+        assert completed.returncode == 1
+        assert "::error file=" in completed.stdout
+        assert "port_capacities:del" in completed.stdout
+
+
+# --------------------------------------------------------------------- #
+# The dynamic cross-check
+# --------------------------------------------------------------------- #
+class TestDynamicCrossCheck:
+    def test_full_pipeline_run_is_clean_and_bit_identical(self, tiny_study):
+        check = run_dynamic_cross_check(
+            tiny_study.inputs,
+            tiny_study.config.inference,
+            tiny_study.studied_ixp_ids,
+        )
+        assert check.ok, [v.message for v in check.violations]
+        assert check.bit_identical
+        # Every step-graph node ran and was observed.
+        assert set(check.observed) == {
+            "step1",
+            "step2",
+            "step3",
+            "traceroute",
+            "step4",
+            "step5",
+            "baseline",
+        }
+        # Spot-check: the observed reads landed in the declared sets.
+        assert check.observed["step2"].inputs == {"ping_result"}
+        assert "interfaces" in check.observed["step1"].domains
+
+    def test_seeded_config_read_is_caught_by_static_and_dynamic(
+        self, tmp_path, tiny_study, monkeypatch
+    ):
+        # One seeded bug — Step 5 reading the undeclared
+        # strong_remote_rtt_ms — expressed twice: as a source patch for the
+        # static rule, and as a runtime monkeypatch for the dynamic check.
+        root = _copy_tree(tmp_path)
+        _patch(
+            root,
+            "core/engine.py",
+            "        if config.enable_step5_private_links:",
+            "        if config.enable_step5_private_links and "
+            "config.strong_remote_rtt_ms >= 0:",
+        )
+        static = [
+            v
+            for v in check_step_declarations(SourceTree(root))
+            if v.kind == "undeclared-config-read" and v.context == "step5"
+        ]
+        assert [v.detail for v in static] == ["strong_remote_rtt_ms"]
+
+        original_run = PrivateConnectivityStep.run
+
+        def leaky_run(self, *args, **kwargs):
+            _ = self.config.strong_remote_rtt_ms  # the same undeclared read
+            return original_run(self, *args, **kwargs)
+
+        monkeypatch.setattr(PrivateConnectivityStep, "run", leaky_run)
+        check = run_dynamic_cross_check(
+            tiny_study.inputs,
+            tiny_study.config.inference,
+            tiny_study.studied_ixp_ids,
+        )
+        dynamic = [
+            v
+            for v in check.violations
+            if v.kind == "undeclared-config-read" and v.context == "step5"
+        ]
+        assert [v.detail for v in dynamic] == ["strong_remote_rtt_ms"]
+        # The recording proxies observe without perturbing the computation.
+        assert check.bit_identical
+
+
+# --------------------------------------------------------------------- #
+# Whole-checker integration
+# --------------------------------------------------------------------- #
+class TestCollect:
+    def test_collect_violations_merges_all_three_rules(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        _patch(
+            root,
+            "core/engine.py",
+            "        if config.enable_step1_port_capacity:",
+            "        if config.enable_step1_port_capacity and "
+            "config.strong_remote_rtt_ms >= 0:",
+        )
+        (root / "experiments" / "_fixture_mutation.py").write_text(
+            "from repro.datasources.merge import ObservedDataset\n"
+            "\n"
+            "\n"
+            "def corrupt(dataset: ObservedDataset) -> None:\n"
+            "    dataset.as_facilities.clear()\n",
+            encoding="utf-8",
+        )
+        (root / "analysis" / "_fixture_readonly.py").write_text(
+            "from repro.core.engine import PipelineOutcome\n"
+            "\n"
+            "\n"
+            "def tamper(outcome: PipelineOutcome) -> None:\n"
+            "    outcome.crossings.append(None)\n",
+            encoding="utf-8",
+        )
+        violations = collect_violations(SourceTree(root))
+        assert {v.rule for v in violations} == {"step-decl", "mutation", "readonly"}
+        assert len(violations) == 3
