@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro.contracts``.
 
-Checks a source tree against the three contract rule families and reports
+Checks a source tree against the five contract rule families and reports
 the findings.  Exit status: 0 when clean (waived findings and unused
 waivers do not fail the run), 1 when non-waived violations remain, 2 when
 the checker itself cannot run (unparseable tree, malformed waiver file).
@@ -76,7 +76,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.contracts",
         description="Static contract checker: step declarations, mutation "
-        "discipline, read-only outcomes.",
+        "discipline, read-only outcomes, lock discipline, determinism.",
     )
     parser.add_argument(
         "--root",

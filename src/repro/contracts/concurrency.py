@@ -1,0 +1,885 @@
+"""Rule family 4: lock discipline for shared state under the per-IXP pool.
+
+``PipelineEngine`` schedules the ``PER_IXP`` nodes of ``STEP_GRAPH`` on a
+thread pool, so everything those nodes can reach — the dataset's derived
+views, the geo/delay memos, the LPM caches, the step-result cache, the
+version journals — is touched concurrently.  The runtime convention is
+**compute-then-store-under-lock**: read paths stay lock-free (a hit is a
+GIL-atomic dict read), and every fill, eviction or rebind of shared state
+happens inside a ``with <...lock...>:`` region or inside a method whose
+*callers* are contractually required to hold the lock.
+
+This rule makes that convention checkable.  For every ``PER_IXP`` node it
+walks the transitive callee graph of the node's implementation
+(``PipelineEngine._compute_<node>``), plus the scheduler itself
+(:meth:`~repro.core.engine.PipelineEngine._map_per_ixp`, cut at the node
+implementations), resolving mutation receivers exactly like the mutation
+rule (:mod:`repro.contracts.mutation`) resolves them.  A write reaching an
+instance of a **shared class** (:data:`SHARED_STATE_CLASSES`) must be
+
+(a) lexically inside a ``with``-statement whose context expression names a
+    lock (``with self._sync_lock:``, ``with _JOURNAL_CREATION_LOCK:``), or
+(b) inside a method declared lock-guarded (:data:`GUARDED_METHODS` — the
+    per-class table of methods whose callers hold the lock), or
+(c) covered by the node's explicit ``thread_confined`` declaration on its
+    :class:`~repro.core.engine.StepSpec` — fresh-per-compute containers
+    (the recording report, the per-IXP campaign summary and their change
+    journals) that the node mutates freely without locks.
+
+Anything else is an ``unguarded-shared-write`` finding.  The declarations
+themselves are kept honest: a ``thread_confined`` class that never absorbs
+a write is an ``unused-confinement`` finding, a :data:`GUARDED_METHODS`
+entry that names no existing method is ``unknown-guarded-method``, and a
+call to a guarded method from outside a lock region (or a fellow guarded
+method) is ``unguarded-guarded-call`` — checked over the *whole* tree, not
+just the reachable graph, because the caller-holds-the-lock contract has no
+scope.
+
+Like the other static rules the walk is syntactic and conservative: writes
+through receivers the tracker cannot type are invisible here (the dynamic
+cross-check, :mod:`repro.contracts.dynconc`, bounds that blind spot by
+counting real unguarded writes under a real thread pool), while everything
+a *typed* receiver reaches is checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.contracts.accessors import STEP_IMPLEMENTATIONS
+from repro.contracts.model import ContractCheckError, Violation
+from repro.contracts.mutation import MUTATING_METHODS
+from repro.contracts.stepdecl import parse_step_graph
+from repro.contracts.tree import ClassInfo, ModuleInfo, SourceTree, walk_scope
+
+#: Classes whose instances are (or may be) shared across the per-IXP pool's
+#: threads.  Writes reaching an instance of one of these must be guarded or
+#: declared thread-confined; classes not listed here own thread-local or
+#: immutable state and are never findings.
+SHARED_STATE_CLASSES: frozenset[str] = frozenset(
+    {
+        # The engine layer: one engine, cache and key resolver per run.
+        "PipelineEngine",
+        "StepResultCache",
+        "_KeyResolver",
+        # The inputs bundle and everything it holds.
+        "InferenceInputs",
+        "ObservedDataset",
+        "GeoDistanceIndex",
+        "DelayModel",
+        "Prefix2ASMap",
+        "PingCampaignResult",
+        "TracerouteCorpus",
+        # Versioning machinery embedded in the containers above.
+        "GenerationGuardedIndex",
+        "ChangeJournal",
+        # Derived indexes maintained incrementally across revisions.
+        "LPMIndex",
+        "LPMDeltaView",
+        "CrossingDetector",
+        "CorpusDetectionIndex",
+        # Result containers: shared in general (the assembled report, the
+        # merged campaign summary); per-IXP nodes that build fresh ones
+        # declare them thread_confined instead.
+        "InferenceReport",
+        "RTTCampaignSummary",
+    }
+)
+
+#: class name -> methods whose *callers* must hold the class's lock.  These
+#: are the locked-region helpers of the incremental-maintenance pattern: the
+#: public accessor takes the lock once and delegates, so the helper's own
+#: body is lock-free by design.  The existence of every entry is verified
+#: (``unknown-guarded-method``) and every call site must be inside a lock
+#: region or a fellow guarded method (``unguarded-guarded-call``).
+GUARDED_METHODS: dict[str, frozenset[str]] = {
+    "GeoDistanceIndex": frozenset(
+        {"_evict_for", "_evict_facility", "_evict_ixp", "_evict_as"}
+    ),
+    "CorpusDetectionIndex": frozenset(
+        {"_sync_locked", "_rebuild", "_refresh_members", "_evict_under", "_redetect"}
+    ),
+    "StepResultCache": frozenset({"_evict_over_budget"}),
+}
+
+#: The pseudo-node under which scheduler-layer findings are reported: the
+#: thread-pool plumbing (``_map_per_ixp`` / ``_per_ixp_chain`` / the cache
+#: and key-resolver calls) runs on every pool thread but belongs to no
+#: single STEP_GRAPH node, and may confine nothing.
+SCHEDULER_CONTEXT = "per-ixp-scheduler"
+
+#: (class name | None, function name, module name).  The module part is only
+#: meaningful for module-level functions (class methods resolve their module
+#: from the defining class); it is kept "" for methods so keys stay stable.
+_FuncKey = tuple[str | None, str, str]
+
+
+@dataclass(frozen=True)
+class _WriteEvent:
+    """One mutation of (possibly) shared state observed in a function."""
+
+    owner: str  # canonical shared class name
+    operation: str
+    path: Path
+    line: int
+    guarded: bool  # lexically locked, or inside a guarded method
+
+
+@dataclass(frozen=True)
+class _GuardedCall:
+    """One call site of a GUARDED_METHODS entry."""
+
+    owner: str
+    method: str
+    path: Path
+    line: int
+    guarded: bool
+
+
+@dataclass
+class _FunctionSummary:
+    """What one function does, independent of who reaches it."""
+
+    events: list[_WriteEvent] = field(default_factory=list)
+    callees: set[_FuncKey] = field(default_factory=set)
+    guarded_calls: list[_GuardedCall] = field(default_factory=list)
+
+
+def _lock_named(node: ast.expr) -> bool:
+    """Whether a ``with`` context expression names a lock."""
+    try:
+        return "lock" in ast.unparse(node).lower()
+    except ValueError:  # pragma: no cover - defensive
+        return False
+
+
+class ConcurrencyAnalyzer:
+    """Shared-state write analysis over one source tree."""
+
+    def __init__(self, tree: SourceTree) -> None:
+        self.tree = tree
+        self._summaries: dict[_FuncKey, _FunctionSummary] = {}
+        self._field_classes: dict[str, dict[str, str]] = {}
+        self._chains: dict[str, tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Class-level facts
+    # ------------------------------------------------------------------ #
+    def class_chain(self, class_name: str) -> tuple[str, ...]:
+        """The class and its in-tree ancestors, nearest first."""
+        cached = self._chains.get(class_name)
+        if cached is not None:
+            return cached
+        chain: list[str] = []
+        queue = [class_name]
+        while queue:
+            name = queue.pop(0)
+            if name in chain:
+                continue
+            info = self.tree.class_named(name)
+            if info is None:
+                continue
+            chain.append(name)
+            queue.extend(info.base_names)
+        result = tuple(chain)
+        self._chains[class_name] = result
+        return result
+
+    def shared_name(self, class_name: str) -> str | None:
+        """The canonical SHARED_STATE_CLASSES name covering a class, if any."""
+        for name in self.class_chain(class_name) or (class_name,):
+            if name in SHARED_STATE_CLASSES:
+                return name
+        return class_name if class_name in SHARED_STATE_CLASSES else None
+
+    def lookup_method(
+        self, class_name: str, method_name: str
+    ) -> tuple[ClassInfo, ast.FunctionDef] | None:
+        """A method resolved through the base chain (defining class first)."""
+        for name in self.class_chain(class_name):
+            info = self.tree.class_named(name)
+            if info is None:
+                continue
+            method = info.method(method_name)
+            if method is not None:
+                return info, method
+        return None
+
+    def _class_for_token(self, module: ModuleInfo, name: str) -> str | None:
+        if self.tree.class_named(name) is not None:
+            return name
+        imported = module.imports.get(name, "")
+        tail = imported.rsplit(".", 1)[-1]
+        if self.tree.class_named(tail) is not None:
+            return tail
+        return None
+
+    def _annotation_class(
+        self, module: ModuleInfo, annotation: str
+    ) -> str | None:
+        """The *outer* class an annotation denotes, if it is a tree class.
+
+        Only the top of each union alternative counts: ``GeoDistanceIndex |
+        None`` resolves, but ``dict[str, InferenceResult]`` does not — a
+        container field is untyped holder state (``fieldof``), and typing it
+        by its *value* class would misattribute writes to the values.
+        """
+        for alternative in annotation.strip().strip("\"'").split("|"):
+            token = alternative.strip().split("[", 1)[0].strip("\"', ")
+            token = token.rsplit(".", 1)[-1]
+            if not token or token == "None":
+                continue
+            resolved = self._class_for_token(module, token)
+            if resolved is not None:
+                return resolved
+        return None
+
+    def field_classes(self, class_name: str) -> dict[str, str]:
+        """``field -> class name`` for one class's class-typed fields."""
+        cached = self._field_classes.get(class_name)
+        if cached is not None:
+            return cached
+        classes: dict[str, str] = {}
+        self._field_classes[class_name] = classes
+        info = self.tree.class_named(class_name)
+        if info is None:
+            return classes
+        module = self.tree.modules.get(info.module)
+        if module is None:
+            return classes
+        for field_name, annotation in info.fields.items():
+            resolved = self._annotation_class(module, annotation)
+            if resolved is not None:
+                classes[field_name] = resolved
+        # Constructor-assigned fields take the class of the assigned value
+        # (an annotated parameter, a constructor call, or a boolean/ternary
+        # fallback chain of those: ``self.cache = cache or StepResultCache()``).
+        for method_name in ("__init__", "__post_init__"):
+            method = info.method(method_name)
+            if method is None:
+                continue
+            params: dict[str, str] = {}
+            args = method.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                if arg.annotation is not None:
+                    resolved = self._annotation_class(
+                        module, ast.unparse(arg.annotation)
+                    )
+                    if resolved is not None:
+                        params[arg.arg] = resolved
+            for node in walk_scope(method):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    target, value = node.target, node.value
+                else:
+                    continue
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                resolved = self._value_class(module, params, value)
+                if resolved is not None:
+                    classes.setdefault(target.attr, resolved)
+        # Inherit the ancestors' typed fields (nearest definition wins).
+        for base in self.class_chain(class_name)[1:]:
+            for field_name, resolved in self.field_classes(base).items():
+                classes.setdefault(field_name, resolved)
+        return classes
+
+    def _value_class(
+        self, module: ModuleInfo, params: dict[str, str], value: ast.expr
+    ) -> str | None:
+        if isinstance(value, ast.Name):
+            return params.get(value.id)
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            return self._class_for_token(module, value.func.id)
+        if isinstance(value, ast.BoolOp):
+            for operand in value.values:
+                resolved = self._value_class(module, params, operand)
+                if resolved is not None:
+                    return resolved
+        if isinstance(value, ast.IfExp):
+            return self._value_class(
+                module, params, value.body
+            ) or self._value_class(module, params, value.orelse)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Function summaries
+    # ------------------------------------------------------------------ #
+    def summary(
+        self, class_name: str | None, func_name: str, module_name: str = ""
+    ) -> _FunctionSummary:
+        key = (class_name, func_name, module_name if class_name is None else "")
+        cached = self._summaries.get(key)
+        if cached is not None:
+            return cached
+        result = _FunctionSummary()
+        self._summaries[key] = result
+        func: ast.FunctionDef | None = None
+        module: ModuleInfo | None = None
+        if class_name is not None:
+            lookup = self.lookup_method(class_name, func_name)
+            if lookup is not None:
+                owner_info, func = lookup
+                module = self.tree.modules.get(owner_info.module)
+        else:
+            module = self.tree.modules.get(module_name)
+            if module is not None:
+                for statement in module.node.body:
+                    if (
+                        isinstance(statement, ast.FunctionDef)
+                        and statement.name == func_name
+                    ):
+                        func = statement
+                        break
+        if func is None or module is None:
+            return result
+        # The receiver class stays the *dispatch* class (class_name), not the
+        # defining class, so subclass receivers resolve their own overrides
+        # and canonicalise through their own base chain.
+        walker = _ConcurrencyWalker(self, module, class_name, func, result)
+        walker.run()
+        return result
+
+    def method_is_guarded(self, class_name: str | None, func_name: str) -> bool:
+        """Whether (class, method) is declared lock-guarded."""
+        if class_name is None:
+            return False
+        for name in self.class_chain(class_name) or (class_name,):
+            if func_name in GUARDED_METHODS.get(name, frozenset()):
+                return True
+        return False
+
+
+#: Resolved-value descriptors used by the walker:
+#:   ("inst", class, fresh)        a typed object reference
+#:   ("fieldof", class, fresh)     an untyped field of a typed object
+#:   ("cls", class)                a class object (constructor on call)
+#:   ("mth", class, name)          a bound method reference
+_Value = tuple
+
+
+class _ConcurrencyWalker:
+    """Walks one function, recording shared writes, callees and lock state."""
+
+    def __init__(
+        self,
+        analyzer: ConcurrencyAnalyzer,
+        module: ModuleInfo,
+        class_name: str | None,
+        func: ast.FunctionDef,
+        summary: _FunctionSummary,
+    ) -> None:
+        self.analyzer = analyzer
+        self.module = module
+        self.class_name = class_name
+        self.func = func
+        self.summary = summary
+        self.lock_depth = 0
+        self.in_guarded = analyzer.method_is_guarded(class_name, func.name)
+        self.env: dict[str, _Value | None] = {}
+        if class_name is not None:
+            fresh = func.name in ("__init__", "__post_init__")
+            self.env["self"] = ("inst", class_name, fresh)
+        args = func.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.arg == "self":
+                continue
+            if arg.annotation is None:
+                continue
+            resolved = self.analyzer._annotation_class(
+                self.module, ast.unparse(arg.annotation)
+            )
+            if resolved is not None:
+                self.env[arg.arg] = ("inst", resolved, False)
+
+    def run(self) -> None:
+        for statement in self.func.body:
+            self._stmt(statement)
+
+    # -------------------------------------------------------------- #
+    def _guarded_here(self) -> bool:
+        return self.lock_depth > 0 or self.in_guarded
+
+    def _event(self, node: ast.AST, owner: str, operation: str) -> None:
+        self.summary.events.append(
+            _WriteEvent(
+                owner=owner,
+                operation=operation,
+                path=self.module.path,
+                line=getattr(node, "lineno", 0),
+                guarded=self._guarded_here(),
+            )
+        )
+
+    def _write(self, node: ast.AST, value: _Value | None, operation: str) -> None:
+        """Record a write whose receiver resolved to ``value``, if shared."""
+        if value is None:
+            return
+        if value[0] in ("inst", "fieldof"):
+            _tag, class_name, fresh = value
+            if fresh:
+                return
+            owner = self.analyzer.shared_name(class_name)
+            if owner is not None:
+                self._event(node, owner, operation)
+
+    # -------------------------------------------------------------- #
+    # Expressions
+    # -------------------------------------------------------------- #
+    def resolve(self, node: ast.expr | None) -> _Value | None:
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            if self.analyzer.tree.class_named(node.id) is not None:
+                return ("cls", node.id)
+            for statement in self.module.node.body:
+                if (
+                    isinstance(statement, ast.FunctionDef)
+                    and statement.name == node.id
+                ):
+                    return ("fn", self.module.module, node.id)
+            imported = self.module.imports.get(node.id, "")
+            if imported:
+                tail = imported.rsplit(".", 1)[-1]
+                if self.analyzer.tree.class_named(tail) is not None:
+                    return ("cls", tail)
+                source = imported.rsplit(".", 1)[0]
+                source_module = self.analyzer.tree.modules.get(source)
+                if source_module is not None:
+                    for statement in source_module.node.body:
+                        if (
+                            isinstance(statement, ast.FunctionDef)
+                            and statement.name == tail
+                        ):
+                            return ("fn", source, tail)
+            return None
+        if isinstance(node, ast.Attribute):
+            return self._attr(self.resolve(node.value), node)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.IfExp):
+            self.resolve(node.test)
+            body = self.resolve(node.body)
+            orelse = self.resolve(node.orelse)
+            return body if body is not None else orelse
+        if isinstance(node, ast.BoolOp):
+            values = [self.resolve(value) for value in node.values]
+            return next((value for value in values if value is not None), None)
+        if isinstance(node, ast.NamedExpr):
+            value = self.resolve(node.value)
+            if isinstance(node.target, ast.Name):
+                self.env[node.target.id] = value
+            return value
+        if isinstance(node, ast.Lambda):
+            self.resolve(node.body)
+            return None
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            for comp in node.generators:
+                self.resolve(comp.iter)
+                self._clear_target(comp.target)
+                for condition in comp.ifs:
+                    self.resolve(condition)
+            self.resolve(node.elt)
+            return None
+        if isinstance(node, ast.DictComp):
+            for comp in node.generators:
+                self.resolve(comp.iter)
+                self._clear_target(comp.target)
+                for condition in comp.ifs:
+                    self.resolve(condition)
+            self.resolve(node.key)
+            self.resolve(node.value)
+            return None
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.resolve(child)
+        return None
+
+    def _attr(self, base: _Value | None, node: ast.Attribute) -> _Value | None:
+        if base is None:
+            return None
+        if base[0] == "inst":
+            _tag, class_name, fresh = base
+            field_class = self.analyzer.field_classes(class_name).get(node.attr)
+            if field_class is not None:
+                # A class-typed field is an independently shared object —
+                # freshness of the holder does not make *it* fresh.
+                return ("inst", field_class, False)
+            found = self.analyzer.lookup_method(class_name, node.attr)
+            if found is not None:
+                owner_info, method = found
+                if any(
+                    isinstance(dec, ast.Name) and dec.id == "property"
+                    for dec in method.decorator_list
+                ):
+                    annotation = (
+                        ast.unparse(method.returns) if method.returns else ""
+                    )
+                    returned = self.analyzer._annotation_class(
+                        self.module, annotation
+                    )
+                    if returned is not None:
+                        # A property exposes a sub-object the holder owns;
+                        # it inherits the holder's freshness (a fresh
+                        # report's journal is fresh, a shared dataset's is
+                        # shared).
+                        return ("inst", returned, fresh)
+                    return ("fieldof", class_name, fresh)
+                return ("mth", class_name, node.attr)
+            return ("fieldof", class_name, fresh)
+        if base[0] == "cls":
+            return None
+        return None
+
+    def _method_callee(self, node: ast.Call, class_name: str, method_name: str) -> None:
+        self.summary.callees.add((class_name, method_name, ""))
+        if self.analyzer.method_is_guarded(class_name, method_name):
+            owner = self.analyzer.shared_name(class_name) or class_name
+            self.summary.guarded_calls.append(
+                _GuardedCall(
+                    owner=owner,
+                    method=method_name,
+                    path=self.module.path,
+                    line=node.lineno,
+                    guarded=self.lock_depth > 0 or self.in_guarded,
+                )
+            )
+
+    def _call(self, node: ast.Call) -> _Value | None:
+        for argument in node.args:
+            unstarred = (
+                argument.value if isinstance(argument, ast.Starred) else argument
+            )
+            self.resolve(unstarred)
+        for keyword in node.keywords:
+            self.resolve(keyword.value)
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "super":
+            if self.class_name is not None:
+                chain = self.analyzer.class_chain(self.class_name)
+                if len(chain) > 1:
+                    self_value = self.env.get("self")
+                    fresh = bool(
+                        self_value and self_value[0] == "inst" and self_value[2]
+                    )
+                    return ("inst", chain[1], fresh)
+            return None
+        if isinstance(func, ast.Attribute):
+            base = self.resolve(func.value)
+            if base is None:
+                return None
+            if base[0] == "inst":
+                _tag, class_name, _fresh = base
+                if self.analyzer.lookup_method(class_name, func.attr) is not None:
+                    self._method_callee(node, class_name, func.attr)
+                    return None
+                if func.attr in MUTATING_METHODS:
+                    # A mutating builtin name with no in-tree definition:
+                    # treat the shared object itself as the written state.
+                    self._write(node, base, f".{func.attr}()")
+                return None
+            if base[0] == "fieldof":
+                # A call on an untyped field of a typed object: mutating
+                # names are writes to the holder (``self._memo.clear()``).
+                if func.attr in MUTATING_METHODS:
+                    self._write(node, base, f".{func.attr}()")
+                return None
+            return None
+        target = self.resolve(func)
+        if target is None:
+            return None
+        if target[0] == "cls":
+            _tag, class_name = target
+            for hook in ("__init__", "__post_init__"):
+                if self.analyzer.lookup_method(class_name, hook) is not None:
+                    self.summary.callees.add((class_name, hook, ""))
+            return ("inst", class_name, True)
+        if target[0] == "fn":
+            _tag, module_name, func_name = target
+            self.summary.callees.add((None, func_name, module_name))
+            return None
+        return None
+
+    # -------------------------------------------------------------- #
+    # Statements
+    # -------------------------------------------------------------- #
+    def _clear_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = None
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._clear_target(element)
+        elif isinstance(target, ast.Starred):
+            self._clear_target(target.value)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            self.resolve(target.value)
+
+    def _check_write_target(
+        self, target: ast.expr, node: ast.stmt, operation: str
+    ) -> None:
+        if isinstance(target, ast.Attribute):
+            self._write(node, self.resolve(target.value), operation)
+        elif isinstance(target, ast.Subscript):
+            base = self.resolve(target.value)
+            if base is not None and base[0] == "mth":
+                base = None
+            self._write(node, base, f"{operation}-item")
+            self.resolve(target.slice)
+
+    def _stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            value = self.resolve(node.value)
+            for target in node.targets:
+                self._check_write_target(target, node, "rebind")
+            if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                self.env[node.targets[0].id] = value
+            else:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.env[target.id] = value
+                    else:
+                        self._clear_target(target)
+        elif isinstance(node, ast.AnnAssign):
+            value = self.resolve(node.value)
+            self._check_write_target(node.target, node, "rebind")
+            if isinstance(node.target, ast.Name):
+                if value is None and node.annotation is not None:
+                    resolved = self.analyzer._annotation_class(
+                        self.module, ast.unparse(node.annotation)
+                    )
+                    if resolved is not None:
+                        value = ("inst", resolved, False)
+                self.env[node.target.id] = value
+        elif isinstance(node, ast.AugAssign):
+            self.resolve(node.value)
+            self._check_write_target(node.target, node, "augmented-rebind")
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._check_write_target(target, node, "del")
+                if isinstance(target, ast.Name):
+                    self.env[target.id] = None
+        elif isinstance(node, ast.Expr):
+            self.resolve(node.value)
+        elif isinstance(node, ast.Return):
+            self.resolve(node.value)
+        elif isinstance(node, (ast.If, ast.While)):
+            self.resolve(node.test)
+            for statement in (*node.body, *node.orelse):
+                self._stmt(statement)
+        elif isinstance(node, ast.For):
+            self.resolve(node.iter)
+            self._clear_target(node.target)
+            for statement in (*node.body, *node.orelse):
+                self._stmt(statement)
+        elif isinstance(node, ast.With):
+            locked = any(_lock_named(item.context_expr) for item in node.items)
+            for item in node.items:
+                self.resolve(item.context_expr)
+                if item.optional_vars is not None:
+                    self._clear_target(item.optional_vars)
+            if locked:
+                self.lock_depth += 1
+            for statement in node.body:
+                self._stmt(statement)
+            if locked:
+                self.lock_depth -= 1
+        elif isinstance(node, ast.Try):
+            for statement in (*node.body, *node.orelse, *node.finalbody):
+                self._stmt(statement)
+            for handler in node.handlers:
+                for statement in handler.body:
+                    self._stmt(statement)
+        elif isinstance(node, ast.Raise):
+            self.resolve(node.exc)
+            self.resolve(node.cause)
+        elif isinstance(node, ast.Assert):
+            self.resolve(node.test)
+            self.resolve(node.msg)
+        # Nested defs, imports, pass/break/continue: separate scopes or inert.
+
+
+# --------------------------------------------------------------------- #
+# The rule
+# --------------------------------------------------------------------- #
+def _reachable(
+    analyzer: ConcurrencyAnalyzer,
+    roots: list[_FuncKey],
+    cut: frozenset[_FuncKey],
+) -> list[_FuncKey]:
+    """BFS over the callee graph from ``roots``, never expanding ``cut``."""
+    seen: list[_FuncKey] = []
+    visited: set[_FuncKey] = set()
+    queue = list(roots)
+    while queue:
+        key = queue.pop(0)
+        if key in visited:
+            continue
+        visited.add(key)
+        seen.append(key)
+        for callee in sorted(
+            analyzer.summary(*key).callees,
+            key=lambda item: (item[0] or "", item[1], item[2]),
+        ):
+            if callee not in visited and callee not in cut:
+                queue.append(callee)
+    return seen
+
+
+def check_concurrency_discipline(tree: SourceTree) -> list[Violation]:
+    """Run rule family 4 over a source tree."""
+    analyzer = ConcurrencyAnalyzer(tree)
+    declarations = parse_step_graph(tree)
+    engine = tree.modules.get(f"{tree.package}.core.engine")
+    if engine is None:
+        raise ContractCheckError("repro.core.engine not found in the source tree")
+    engine_path = tree.display_path(engine.path)
+    violations: list[Violation] = []
+    seen_writes: set[str] = set()
+
+    # ----- table validation: every GUARDED_METHODS entry must exist ----- #
+    for class_name in sorted(GUARDED_METHODS):
+        for method_name in sorted(GUARDED_METHODS[class_name]):
+            found = analyzer.lookup_method(class_name, method_name)
+            if found is None:
+                info = tree.class_named(class_name)
+                path = tree.display_path(info.path) if info else engine_path
+                line = info.node.lineno if info else 0
+                violations.append(
+                    Violation(
+                        rule="concurrency",
+                        kind="unknown-guarded-method",
+                        path=path,
+                        line=line,
+                        context=class_name,
+                        detail=method_name,
+                        message=(
+                            f"GUARDED_METHODS declares {class_name}.{method_name} "
+                            "lock-guarded but no such method exists in the tree; "
+                            "the table has drifted from the code"
+                        ),
+                    )
+                )
+
+    # ----- per-node reachability: writes must be guarded or confined ----- #
+    implementations = frozenset(
+        ("PipelineEngine", method, "") for method in STEP_IMPLEMENTATIONS.values()
+    )
+    per_ixp = [
+        decl for decl in declarations.values() if decl.scope == "per-ixp"
+    ]
+    _Context = tuple[str, list[_FuncKey], frozenset[_FuncKey], tuple[str, ...], int]
+    contexts: list[_Context] = [
+        (
+            SCHEDULER_CONTEXT,
+            [("PipelineEngine", "_map_per_ixp", "")],
+            implementations,
+            (),
+            0,
+        )
+    ]
+    for decl in sorted(per_ixp, key=lambda d: d.name):
+        method = STEP_IMPLEMENTATIONS.get(decl.name)
+        if method is None:
+            continue  # stepdecl's missing-implementation finding covers this
+        contexts.append(
+            (
+                decl.name,
+                [("PipelineEngine", method, "")],
+                frozenset(),
+                decl.thread_confined,
+                decl.line,
+            )
+        )
+
+    for context, roots, cut, confined, decl_line in contexts:
+        confined_set = frozenset(confined)
+        used: set[str] = set()
+        for key in _reachable(analyzer, roots, cut):
+            for event in analyzer.summary(*key).events:
+                if event.guarded:
+                    continue
+                if event.owner in confined_set:
+                    used.add(event.owner)
+                    continue
+                display = tree.display_path(event.path)
+                dedupe = f"{display}:{event.line}:{event.owner}:{event.operation}"
+                if dedupe in seen_writes:
+                    continue
+                seen_writes.add(dedupe)
+                violations.append(
+                    Violation(
+                        rule="concurrency",
+                        kind="unguarded-shared-write",
+                        path=display,
+                        line=event.line,
+                        context=context,
+                        detail=f"{event.owner}:{event.operation}",
+                        message=(
+                            f"write ({event.operation}) to shared "
+                            f"{event.owner} state reached from the parallel "
+                            f"{context!r} call graph outside any lock region, "
+                            "lock-guarded method or thread_confined "
+                            "declaration — guard it with the owner's lock "
+                            "(compute-then-store-under-lock) or declare the "
+                            "class thread-confined on the StepSpec"
+                        ),
+                    )
+                )
+        for name in sorted(confined_set - used):
+            violations.append(
+                Violation(
+                    rule="concurrency",
+                    kind="unused-confinement",
+                    path=engine_path,
+                    line=decl_line,
+                    context=context,
+                    detail=name,
+                    message=(
+                        f"step {context!r} declares {name!r} thread-confined "
+                        "but its call graph never mutates an instance of it; "
+                        "drop the declaration so it cannot mask a future "
+                        "unguarded write"
+                    ),
+                )
+            )
+
+    # ----- whole-tree: guarded methods must be called under the lock ----- #
+    all_keys: set[_FuncKey] = set()
+    for name, definitions in tree.classes_by_name.items():
+        for info in definitions:
+            for statement in info.node.body:
+                if isinstance(statement, ast.FunctionDef):
+                    all_keys.add((name, statement.name, ""))
+    for key in sorted(all_keys, key=lambda item: (item[0] or "", item[1])):
+        for call in analyzer.summary(*key).guarded_calls:
+            if call.guarded:
+                continue
+            display = tree.display_path(call.path)
+            violations.append(
+                Violation(
+                    rule="concurrency",
+                    kind="unguarded-guarded-call",
+                    path=display,
+                    line=call.line,
+                    context=f"{key[0]}.{key[1]}",
+                    detail=f"{call.owner}.{call.method}",
+                    message=(
+                        f"{call.owner}.{call.method} is declared lock-guarded "
+                        "(GUARDED_METHODS: its callers must hold the lock) but "
+                        "this call site is neither inside a lock region nor "
+                        "inside a fellow guarded method"
+                    ),
+                )
+            )
+
+    violations.sort(key=lambda v: (v.path, v.line, v.kind, v.detail))
+    return violations

@@ -1,0 +1,224 @@
+"""Dynamic concurrency cross-check: run the real thread pool, assert the locks.
+
+The static rule (:mod:`repro.contracts.concurrency`) proves lock discipline
+over the *source*; this module checks the same contract against an
+*execution*.  It runs a genuine :class:`~repro.core.engine.PipelineEngine`
+on a real thread pool (``max_workers=4`` by default) after swapping the
+shared memo dicts — the geo-index caches, the delay-model distance memo,
+the dataset's lazy member index and LAN-LPM lookup memo — for
+:class:`LockCheckedDict` wrappers that record, for every mutating
+operation, whether the dict's guarding lock was held at that instant.
+
+Callers assert three things (see ``tests/test_contracts.py``):
+
+* **zero unguarded writes** — every recorded mutation happened with its
+  lock held (:attr:`DynamicConcurrencyCheck.unguarded` is empty);
+* **the probe had teeth** — at least one write was recorded at all, so a
+  refactor that silently stops exercising the memos cannot rot the check
+  into a vacuous pass;
+* **bit-identical outcome** — the instrumented parallel run equals a plain
+  serial run over the same inputs
+  (:attr:`DynamicConcurrencyCheck.bit_identical`), closing the loop on the
+  engine's ``max_workers`` equivalence claim.
+
+Lock-held detection uses ``RLock._is_owned()`` where available (exact for
+the calling thread) and falls back to ``Lock.locked()`` for plain locks —
+the fallback can miss an unguarded write that races a guarded one, so it
+under-reports but never false-positives; the static rule is the exhaustive
+half of the pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from threading import Lock
+from typing import Any, Sequence
+
+from repro.config import InferenceConfig
+from repro.core.engine import PipelineEngine, PipelineOutcome
+from repro.core.inputs import InferenceInputs
+
+#: The GeoDistanceIndex memo fields, all guarded by its ``_sync_lock``.
+_GEO_MEMO_FIELDS: tuple[str, ...] = (
+    "_point_km",
+    "_pair_km",
+    "_ixp_profiles",
+    "_as_profiles",
+    "_ixp_spans",
+    "_as_ixp_spans",
+    "_common_spans",
+    "_majority_votes",
+)
+
+
+def _held(lock: Any) -> bool:
+    """Whether ``lock`` is held — exactly for RLocks, best-effort for Locks."""
+    is_owned = getattr(lock, "_is_owned", None)
+    if is_owned is not None:
+        return bool(is_owned())
+    return bool(lock.locked())
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """One recorded mutation of an instrumented shared dict."""
+
+    label: str
+    operation: str
+    guarded: bool
+
+
+class _WriteLog:
+    """Thread-safe append-only event sink shared by every wrapper."""
+
+    def __init__(self) -> None:
+        self._lock = Lock()
+        self.events: list[WriteEvent] = []
+
+    def record(self, label: str, operation: str, guarded: bool) -> None:
+        with self._lock:
+            self.events.append(WriteEvent(label, operation, guarded))
+
+
+class LockCheckedDict(dict):  # type: ignore[type-arg]
+    """A dict that notes whether its guarding lock is held at each mutation.
+
+    Reads are untouched (the tree's discipline keeps hit paths lock-free on
+    purpose); every mutating entry point records a :class:`WriteEvent`
+    before forwarding, so the wrapper never changes behaviour — only
+    observes it.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        guard: Any,
+        log: _WriteLog,
+        initial: dict[Any, Any] | None = None,
+    ) -> None:
+        super().__init__(initial or {})
+        self._label = label
+        self._guard = guard
+        self._log = log
+
+    def _note(self, operation: str) -> None:
+        self._log.record(self._label, operation, _held(self._guard))
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._note("setitem")
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key: Any) -> None:
+        self._note("delitem")
+        super().__delitem__(key)
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        self._note("setdefault")
+        return super().setdefault(key, default)
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        self._note("update")
+        super().update(*args, **kwargs)
+
+    def clear(self) -> None:
+        self._note("clear")
+        super().clear()
+
+    def pop(self, key: Any, *default: Any) -> Any:
+        self._note("pop")
+        return super().pop(key, *default)
+
+    def popitem(self) -> tuple[Any, Any]:
+        self._note("popitem")
+        return super().popitem()
+
+
+@dataclass
+class DynamicConcurrencyCheck:
+    """The outcome of one instrumented parallel run against a serial one."""
+
+    events: list[WriteEvent]
+    outcome: PipelineOutcome
+    reference_outcome: PipelineOutcome
+
+    @property
+    def unguarded(self) -> list[WriteEvent]:
+        """Mutations recorded without the guarding lock held."""
+        return [event for event in self.events if not event.guarded]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unguarded
+
+    @property
+    def bit_identical(self) -> bool:
+        """Whether the parallel run reproduced the serial outcome exactly."""
+        return self.outcome == self.reference_outcome
+
+
+def _instrument(
+    engine: PipelineEngine, inputs: InferenceInputs, log: _WriteLog
+) -> None:
+    """Swap the engine-shared memo dicts for lock-checking wrappers."""
+    geo = engine.geo_index
+    for name in _GEO_MEMO_FIELDS:
+        setattr(
+            geo,
+            name,
+            LockCheckedDict(f"geo.{name}", geo._sync_lock, log, getattr(geo, name)),
+        )
+    model = engine.delay_model
+    model._min_distance_memo = LockCheckedDict(
+        "delay_model._min_distance_memo",
+        model._lock,
+        log,
+        model._min_distance_memo,
+    )
+    dataset = inputs.dataset
+    dataset._ixp_members = LockCheckedDict(
+        "dataset._ixp_members", dataset._view_lock, log, dataset._ixp_members
+    )
+    # The LAN LPM view is built lazily; force the build so its lookup memo
+    # (filled from every per-IXP thread that resolves an address) is wrapped
+    # for the whole run rather than only after a chance rebuild.
+    dataset.ixp_for_ip("192.0.2.1")
+    state = dataset._lan_state
+    if state is not None:
+        view = state[1]
+        view._memo = LockCheckedDict("lan_lpm._memo", view._lock, log, view._memo)
+
+
+def run_dynamic_concurrency_check(
+    inputs: InferenceInputs,
+    config: InferenceConfig,
+    ixp_ids: Sequence[str],
+    *,
+    max_workers: int = 4,
+) -> DynamicConcurrencyCheck:
+    """Run the pipeline twice — instrumented-parallel and plain-serial.
+
+    The instrumented engine schedules the per-IXP nodes on a real thread
+    pool and records every mutation of the shared memos; the reference
+    engine runs serially over the same inputs with its own result cache.
+    The wrappers stay installed for the reference run (they only observe),
+    so its writes are recorded too — all of them from the single main
+    thread, where the guarded store paths hold the locks just the same.
+    """
+    log = _WriteLog()
+    engine = PipelineEngine(inputs, max_workers=max_workers)
+    _instrument(engine, inputs, log)
+    outcome = engine.run(config, list(ixp_ids))
+    reference = PipelineEngine(inputs, max_workers=None).run(config, list(ixp_ids))
+    return DynamicConcurrencyCheck(
+        events=list(log.events),
+        outcome=outcome,
+        reference_outcome=reference,
+    )
+
+
+def write_counts(check: DynamicConcurrencyCheck) -> dict[str, int]:
+    """Recorded mutations per instrumented structure, for test diagnostics."""
+    counts: dict[str, int] = {}
+    for event in check.events:
+        counts[event.label] = counts.get(event.label, 0) + 1
+    return dict(sorted(counts.items()))

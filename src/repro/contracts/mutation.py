@@ -3,8 +3,10 @@
 Every mutable backing collection of a :class:`repro.versioning.Versioned`
 container (the observed dataset's dicts, the campaign results' lists, the
 report's results map...) must only be mutated from the container's **own
-module** — where the journal-emitting mutators live — or from
-:mod:`repro.versioning` itself.  A direct mutation anywhere else
+module** — where the journal-emitting mutators live — or from one of the
+exempt mechanism layers (``_EXEMPT_MODULES``: :mod:`repro.versioning` and
+the observation-only instrumentation in :mod:`repro.contracts.dynconc`).
+A direct mutation anywhere else
 (``dataset.interface_asn[ip] = ...``, ``result.vantage_points.update(...)``,
 ``del report.results[key]``) silently bypasses both the change journal and
 the generation stamp: derived indexes and the step-result cache keep serving
@@ -35,6 +37,13 @@ from pathlib import Path
 
 from repro.contracts.model import Violation
 from repro.contracts.tree import ClassInfo, ModuleInfo, SourceTree, walk_scope
+
+#: Modules exempt from the rule, relative to the analyzed package: the
+#: versioning machinery itself, and the dynamic concurrency harness
+#: (:mod:`repro.contracts.dynconc`), which installs observation-only
+#: lock-checking wrappers in place of the backing dicts — a representation
+#: swap that preserves content exactly, never a journal-bypassing edit.
+_EXEMPT_MODULES: tuple[str, ...] = ("versioning", "contracts.dynconc")
 
 #: Method calls that mutate a dict / list / set receiver in place.
 MUTATING_METHODS: frozenset[str] = frozenset(
@@ -185,6 +194,13 @@ class _FunctionScan:
             return self._class_for_name(node.func.id)
         return None
 
+    def _exempt_module(self) -> bool:
+        package = self.checker.tree.package
+        return any(
+            self.module.module == f"{package}.{suffix}"
+            for suffix in _EXEMPT_MODULES
+        )
+
     def _tracked_field(self, attribute: ast.Attribute) -> str | None:
         """The versioned field this attribute access denotes, if flagged.
 
@@ -202,12 +218,12 @@ class _FunctionScan:
                 return None  # a known non-versioned class's own attribute
             if self.module.module in owners.modules:
                 return None  # the container's own module
-            if self.module.module == f"{self.checker.tree.package}.versioning":
+            if self._exempt_module():
                 return None
             return field_name
         if self.module.module in owners.modules:
             return None
-        if self.module.module == f"{self.checker.tree.package}.versioning":
+        if self._exempt_module():
             return None
         if owners.ambiguous:
             return None

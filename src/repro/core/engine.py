@@ -82,7 +82,7 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, fields, is_dataclass
 from threading import Lock
-from typing import Callable, NamedTuple, Sequence
+from typing import Any, Callable, NamedTuple, Sequence, cast
 
 from repro.config import InferenceConfig, config_fingerprint
 from repro.datasources.merge import (
@@ -100,11 +100,24 @@ from repro.core.step2_rtt import RTTCampaignSummary, RTTMeasurementStep
 from repro.core.step3_colocation import ColocationRTTStep, FeasibleFacilityAnalysis
 from repro.core.step4_multi_ixp import MultiIXPRouter, MultiIXPRouterStep
 from repro.core.step5_private_links import PrivateConnectivityStep
-from repro.core.types import InferenceReport
+from repro.core.types import (
+    InferenceReport,
+    InferenceResult,
+    InferenceStep,
+    PeeringClassification,
+)
 from repro.exceptions import InferenceError
 from repro.geo.delay_model import DelayModel
 from repro.geo.distindex import GeoDistanceIndex
 from repro.traixroute.detector import CorpusDetectionIndex, IXPCrossing, PrivateAdjacency
+
+#: One recorded ``ensure``/``classify`` call — heterogeneous by design (the
+#: records exist only to be replayed, never inspected field by field).
+_DeltaRecord = tuple[Any, ...]
+#: A step's replayable contribution: its ordered tuple of recorded calls.
+_Delta = tuple[_DeltaRecord, ...]
+#: The feasibility analyses Step 3 contributes, keyed by (IXP, interface).
+_FeasibleMap = dict[tuple[str, str], FeasibleFacilityAnalysis]
 
 
 @dataclass
@@ -172,6 +185,16 @@ class StepSpec:
         enters the node's cache key — ``"ping_result"``, ``"corpus"`` and/or
         ``"prefix2as"``.  The alias resolver is world-backed and immutable,
         so no node declares it.
+    thread_confined:
+        Class names whose instances, inside this node's call graph, are
+        **confined to the computing thread** — fresh objects built per
+        compute (the recording report, the per-IXP campaign summary) that
+        the node mutates freely without locks.  This is a *contract* checked
+        by the concurrency rule (:mod:`repro.contracts.concurrency`): writes
+        to instances of any *other* shared class must be lock-guarded, and a
+        declared class the node never mutates is itself a finding (the
+        declaration must not drift from the code).  Only meaningful on
+        ``PER_IXP`` nodes — ``GLOBAL`` nodes run serially.
     """
 
     name: str
@@ -182,6 +205,7 @@ class StepSpec:
     studied_set_sensitive: bool = True
     data_domains: tuple[str, ...] = ()
     data_inputs: tuple[str, ...] = ()
+    thread_confined: tuple[str, ...] = ()
 
 
 #: The declared step graph, in the paper's execution order (Section 5.2).
@@ -193,6 +217,7 @@ STEP_GRAPH: tuple[StepSpec, ...] = (
         requires=(),
         provides=("report_delta",),
         data_domains=(DOMAIN_INTERFACES, DOMAIN_CAPACITIES),
+        thread_confined=("InferenceReport",),
     ),
     StepSpec(
         name="step2",
@@ -214,6 +239,7 @@ STEP_GRAPH: tuple[StepSpec, ...] = (
             DOMAIN_AS_FACILITIES,
             DOMAIN_FACILITY_LOCATIONS,
         ),
+        thread_confined=("InferenceReport",),
     ),
     StepSpec(
         name="traceroute",
@@ -262,6 +288,7 @@ STEP_GRAPH: tuple[StepSpec, ...] = (
         requires=("step2",),
         provides=("baseline_report",),
         data_domains=(DOMAIN_INTERFACES,),
+        thread_confined=("InferenceReport",),
     ),
 )
 
@@ -419,18 +446,27 @@ class _RecordingReport(InferenceReport):
 
     def __init__(self) -> None:
         super().__init__()
-        self.log: list[tuple] | None = None
+        self.log: list[_DeltaRecord] | None = None
 
     def start_recording(self) -> None:
         self.log = []
 
-    def ensure(self, ixp_id, interface_ip, asn):
+    def ensure(self, ixp_id: str, interface_ip: str, asn: int) -> InferenceResult:
         if self.log is not None and (ixp_id, interface_ip) not in self.results:
             self.log.append(("ensure", ixp_id, interface_ip, asn))
         return super().ensure(ixp_id, interface_ip, asn)
 
-    def classify(self, ixp_id, interface_ip, asn, classification, step,
-                 evidence=None, *, overwrite=False):
+    def classify(
+        self,
+        ixp_id: str,
+        interface_ip: str,
+        asn: int,
+        classification: PeeringClassification,
+        step: InferenceStep,
+        evidence: dict[str, object] | None = None,
+        *,
+        overwrite: bool = False,
+    ) -> InferenceResult:
         if self.log is not None:
             self.log.append(("classify", ixp_id, interface_ip, asn, classification,
                              step, dict(evidence) if evidence else None, overwrite))
@@ -438,7 +474,7 @@ class _RecordingReport(InferenceReport):
                                 evidence, overwrite=overwrite)
 
 
-def _replay(report: InferenceReport, delta: tuple[tuple, ...]) -> None:
+def _replay(report: InferenceReport, delta: _Delta) -> None:
     """Apply one recorded delta to a report, with fresh evidence dicts."""
     for record in delta:
         if record[0] == "ensure":
@@ -449,9 +485,9 @@ def _replay(report: InferenceReport, delta: tuple[tuple, ...]) -> None:
                             dict(evidence) if evidence else None, overwrite=overwrite)
 
 
-def _report_as_delta(report: InferenceReport) -> tuple[tuple, ...]:
+def _report_as_delta(report: InferenceReport) -> _Delta:
     """A standalone report (the baseline's) rendered as a replayable delta."""
-    log: list[tuple] = []
+    log: list[_DeltaRecord] = []
     for (ixp_id, interface_ip), result in report.results.items():
         log.append(("ensure", ixp_id, interface_ip, result.asn))
         if result.is_inferred:
@@ -486,9 +522,13 @@ class _KeyResolver:
         self._ixp_ids = ixp_ids
         self._inputs = inputs
         self._memo: dict[tuple[str, str | None], str] = {}
-        self._data_tokens: dict[str, tuple] = {}
+        self._data_tokens: dict[str, tuple[object, object]] = {}
+        # One resolver is shared by every thread of a run's per-IXP pool;
+        # only the memo stores need serialising (a duplicated digest is
+        # idempotent, the lock just keeps the dict fills race-free).
+        self._lock = Lock()
 
-    def _data_token(self, spec: StepSpec) -> tuple:
+    def _data_token(self, spec: StepSpec) -> tuple[object, object]:
         """The version stamps of everything the node declared it reads."""
         token = self._data_tokens.get(spec.name)
         if token is None:
@@ -503,7 +543,8 @@ class _KeyResolver:
                     for name in spec.data_inputs
                 ),
             )
-            self._data_tokens[spec.name] = token
+            with self._lock:
+                self._data_tokens[spec.name] = token
         return token
 
     def key(self, name: str, ixp_id: str | None = None) -> str:
@@ -528,18 +569,20 @@ class _KeyResolver:
         fingerprint = config_fingerprint(self._config, spec.config_fields)
         payload = repr((name, scope_token, fingerprint, self._data_token(spec), parents))
         digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
-        self._memo[memo_key] = digest
+        # key() recurses into parents outside the lock; only the store needs it.
+        with self._lock:
+            self._memo[memo_key] = digest
         return digest
 
 
 class _PerIXPResults(NamedTuple):
     """The cached results of one IXP's per-IXP node chain."""
 
-    step1_delta: tuple[tuple, ...]
+    step1_delta: _Delta
     summary: RTTCampaignSummary
-    step3_delta: tuple[tuple, ...]
-    feasible: dict[tuple[str, str], FeasibleFacilityAnalysis]
-    baseline_delta: tuple[tuple, ...]
+    step3_delta: _Delta
+    feasible: _FeasibleMap
+    baseline_delta: _Delta
 
 
 # --------------------------------------------------------------------- #
@@ -588,8 +631,10 @@ class PipelineEngine:
         self.cache = cache
         self.max_workers = max_workers
         # Per-path corpus detection, maintained incrementally across
-        # journalled prefix revisions (created on the first traceroute node).
+        # journalled prefix revisions (created on the first traceroute node);
+        # the lock makes the lazy creation build-once under concurrent runs.
         self._corpus_detection: CorpusDetectionIndex | None = None
+        self._detection_lock = Lock()
 
     def cache_eviction_stats(self) -> dict[str, object]:
         """The step-result cache's LRU budget accounting (ROADMAP open item)."""
@@ -606,23 +651,27 @@ class PipelineEngine:
 
         per_ixp = self._map_per_ixp(config, ixp_ids, resolver)
 
-        crossings, adjacencies = cache.get_or_compute(
-            "traceroute", resolver.key("traceroute"), self._compute_traceroute)
+        crossings, adjacencies = cast(
+            "tuple[list[IXPCrossing], list[PrivateAdjacency]]",
+            cache.get_or_compute(
+                "traceroute", resolver.key("traceroute"), self._compute_traceroute))
 
         step1_deltas = [results.step1_delta for results in per_ixp]
         step3_deltas = [results.step3_delta for results in per_ixp]
-        feasible: dict[tuple[str, str], FeasibleFacilityAnalysis] = {}
+        feasible: _FeasibleMap = {}
         for results in per_ixp:
             feasible.update(results.feasible)
 
-        step4_delta, routers = cache.get_or_compute(
-            "step4", resolver.key("step4"),
-            lambda: self._compute_step4(config, ixp_ids, step1_deltas, step3_deltas,
-                                        crossings))
-        step5_delta = cache.get_or_compute(
+        step4_delta, routers = cast(
+            "tuple[_Delta, list[MultiIXPRouter]]",
+            cache.get_or_compute(
+                "step4", resolver.key("step4"),
+                lambda: self._compute_step4(config, ixp_ids, step1_deltas,
+                                            step3_deltas, crossings)))
+        step5_delta = cast("_Delta", cache.get_or_compute(
             "step5", resolver.key("step5"),
             lambda: self._compute_step5(config, ixp_ids, step1_deltas, step3_deltas,
-                                        step4_delta, adjacencies, routers, feasible))
+                                        step4_delta, adjacencies, routers, feasible)))
 
         # Assembly: replay the deltas in the monolithic step order, so the
         # final report is bit-identical to the seed single-pass pipeline.
@@ -656,32 +705,39 @@ class PipelineEngine:
     # ------------------------------------------------------------------ #
     # Per-IXP chains (Steps 1-3 + baseline)
     # ------------------------------------------------------------------ #
-    def _map_per_ixp(self, config, ixp_ids, resolver):
+    def _map_per_ixp(
+        self,
+        config: InferenceConfig,
+        ixp_ids: tuple[str, ...],
+        resolver: _KeyResolver,
+    ) -> list[_PerIXPResults]:
         if self.max_workers and self.max_workers > 1 and len(ixp_ids) > 1:
             with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
                 return list(pool.map(
                     lambda ixp_id: self._per_ixp_chain(config, ixp_id, resolver), ixp_ids))
         return [self._per_ixp_chain(config, ixp_id, resolver) for ixp_id in ixp_ids]
 
-    def _per_ixp_chain(self, config, ixp_id, resolver) -> _PerIXPResults:
+    def _per_ixp_chain(
+        self, config: InferenceConfig, ixp_id: str, resolver: _KeyResolver
+    ) -> _PerIXPResults:
         cache = self.cache
-        step1 = cache.get_or_compute(
+        step1 = cast("_Delta", cache.get_or_compute(
             "step1", resolver.key("step1", ixp_id),
-            lambda: self._compute_step1(config, ixp_id))
-        summary = cache.get_or_compute(
+            lambda: self._compute_step1(config, ixp_id)))
+        summary = cast(RTTCampaignSummary, cache.get_or_compute(
             "step2", resolver.key("step2", ixp_id),
-            lambda: self._compute_step2(config, ixp_id))
-        step3_delta, feasible = cache.get_or_compute(
+            lambda: self._compute_step2(config, ixp_id)))
+        step3_delta, feasible = cast("tuple[_Delta, _FeasibleMap]", cache.get_or_compute(
             "step3", resolver.key("step3", ixp_id),
-            lambda: self._compute_step3(config, ixp_id, step1, summary))
-        baseline = cache.get_or_compute(
+            lambda: self._compute_step3(config, ixp_id, step1, summary)))
+        baseline = cast("_Delta", cache.get_or_compute(
             "baseline", resolver.key("baseline", ixp_id),
-            lambda: self._compute_baseline(config, ixp_id, summary))
+            lambda: self._compute_baseline(config, ixp_id, summary)))
         return _PerIXPResults(step1_delta=step1, summary=summary,
                               step3_delta=step3_delta, feasible=feasible,
                               baseline_delta=baseline)
 
-    def _compute_step1(self, config, ixp_id) -> tuple[tuple, ...]:
+    def _compute_step1(self, config: InferenceConfig, ixp_id: str) -> _Delta:
         report = _RecordingReport()
         report.start_recording()
         if config.enable_step1_port_capacity:
@@ -691,36 +747,55 @@ class PipelineEngine:
             # off (the monolith's _register_all branch).
             for interface_ip, asn in self.inputs.dataset.interfaces_of_ixp(ixp_id).items():
                 report.ensure(ixp_id, interface_ip, asn)
-        return tuple(report.log)
+        return tuple(report.log or ())
 
-    def _compute_step2(self, config, ixp_id) -> RTTCampaignSummary:
+    def _compute_step2(self, config: InferenceConfig, ixp_id: str) -> RTTCampaignSummary:
         return RTTMeasurementStep(self.inputs, config).run([ixp_id])
 
-    def _compute_step3(self, config, ixp_id, step1_delta, summary):
+    def _compute_step3(
+        self,
+        config: InferenceConfig,
+        ixp_id: str,
+        step1_delta: _Delta,
+        summary: RTTCampaignSummary,
+    ) -> tuple[_Delta, _FeasibleMap]:
         report = _RecordingReport()
         _replay(report, step1_delta)
-        analyses: dict[tuple[str, str], FeasibleFacilityAnalysis] = {}
+        analyses: _FeasibleMap = {}
         report.start_recording()
         if config.enable_step3_colocation_rtt:
             step3 = ColocationRTTStep(self.inputs, config, self.delay_model,
                                       geo_index=self.geo_index)
             analyses = step3.run([ixp_id], report, summary)
-        return tuple(report.log), analyses
+        return tuple(report.log or ()), analyses
 
-    def _compute_baseline(self, config, ixp_id, summary) -> tuple[tuple, ...]:
+    def _compute_baseline(
+        self, config: InferenceConfig, ixp_id: str, summary: RTTCampaignSummary
+    ) -> _Delta:
         report = RTTBaseline(self.inputs, config).run([ixp_id], summary)
         return _report_as_delta(report)
 
     # ------------------------------------------------------------------ #
     # Global nodes (traceroute observables, Steps 4-5)
     # ------------------------------------------------------------------ #
-    def _compute_traceroute(self):
+    def _compute_traceroute(self) -> tuple[list[IXPCrossing], list[PrivateAdjacency]]:
         if self._corpus_detection is None:
-            self._corpus_detection = CorpusDetectionIndex(
-                self.inputs.dataset, self.inputs.prefix2as, self.inputs.corpus)
+            # Double-checked lazy creation: two concurrent runs must share
+            # one incrementally maintained index, not race two into place.
+            with self._detection_lock:
+                if self._corpus_detection is None:
+                    self._corpus_detection = CorpusDetectionIndex(
+                        self.inputs.dataset, self.inputs.prefix2as, self.inputs.corpus)
         return self._corpus_detection.results()
 
-    def _compute_step4(self, config, ixp_ids, step1_deltas, step3_deltas, crossings):
+    def _compute_step4(
+        self,
+        config: InferenceConfig,
+        ixp_ids: tuple[str, ...],
+        step1_deltas: list[_Delta],
+        step3_deltas: list[_Delta],
+        crossings: list[IXPCrossing],
+    ) -> tuple[_Delta, list[MultiIXPRouter]]:
         report = _RecordingReport()
         for delta in step1_deltas:
             _replay(report, delta)
@@ -731,10 +806,19 @@ class PipelineEngine:
         if config.enable_step4_multi_ixp:
             step4 = MultiIXPRouterStep(self.inputs, config, geo_index=self.geo_index)
             routers = step4.run(list(ixp_ids), report, crossings)
-        return tuple(report.log), routers
+        return tuple(report.log or ()), routers
 
-    def _compute_step5(self, config, ixp_ids, step1_deltas, step3_deltas, step4_delta,
-                       adjacencies, routers, feasible):
+    def _compute_step5(
+        self,
+        config: InferenceConfig,
+        ixp_ids: tuple[str, ...],
+        step1_deltas: list[_Delta],
+        step3_deltas: list[_Delta],
+        step4_delta: _Delta,
+        adjacencies: list[PrivateAdjacency],
+        routers: list[MultiIXPRouter],
+        feasible: _FeasibleMap,
+    ) -> _Delta:
         report = _RecordingReport()
         for delta in step1_deltas:
             _replay(report, delta)
@@ -745,7 +829,7 @@ class PipelineEngine:
         if config.enable_step5_private_links:
             step5 = PrivateConnectivityStep(self.inputs, config, geo_index=self.geo_index)
             step5.run(list(ixp_ids), report, adjacencies, routers, feasible)
-        return tuple(report.log)
+        return tuple(report.log or ())
 
 
 class SweepRunner:

@@ -27,6 +27,7 @@ differences.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from threading import Lock
 
 from repro.datasources.records import SourceName, SourceSnapshot
 from repro.exceptions import DataSourceError
@@ -185,6 +186,11 @@ class ObservedDataset(Versioned):
         default_factory=GenerationGuardedIndex, init=False, repr=False, compare=False)
     _ixp_members: dict[str, set[int]] = field(
         default_factory=dict, init=False, repr=False, compare=False)
+    # Serialises the lazy builds/fills of the derived state above when the
+    # per-IXP engine nodes read concurrently (journalled mutators stay
+    # single-threaded by contract and are policed by the mutation rule).
+    _view_lock: Lock = field(
+        default_factory=Lock, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     # Versioning
@@ -410,7 +416,8 @@ class ObservedDataset(Versioned):
             if asn is not None:
                 by_ixp.setdefault(owner, {})[ip] = asn
         # A rebuilt view invalidates the member-set memo derived from it.
-        self._ixp_members = {}
+        with self._view_lock:
+            self._ixp_members = {}
         return by_ixp
 
     def _interfaces_by_ixp(self) -> dict[str, dict[str, int]]:
@@ -428,7 +435,9 @@ class ObservedDataset(Versioned):
         by_ixp = self._interfaces_by_ixp()
         members = self._ixp_members.get(ixp_id)
         if members is None:
-            members = self._ixp_members[ixp_id] = set(by_ixp.get(ixp_id, {}).values())
+            members = set(by_ixp.get(ixp_id, {}).values())
+            with self._view_lock:
+                self._ixp_members[ixp_id] = members
         return set(members)
 
     def asn_of_interface(self, ip: str) -> int | None:
@@ -450,8 +459,13 @@ class ObservedDataset(Versioned):
         token = self.domain_token(DOMAIN_IXP_PREFIXES)
         state = self._lan_state
         if state is None or state[0] != token:
-            state = (token, LPMIndex(self.ixp_prefixes))
-            self._lan_state = state
+            # Double-checked build: concurrent per-IXP readers must neither
+            # build the LPM twice nor publish a stale (token, view) pair.
+            with self._view_lock:
+                state = self._lan_state
+                if state is None or state[0] != token:
+                    state = (token, LPMIndex(self.ixp_prefixes))
+                    self._lan_state = state
         return state[1].lookup(ip)
 
     # ------------------------------------------------------------------ #

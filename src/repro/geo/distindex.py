@@ -59,7 +59,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from collections import Counter
 from dataclasses import dataclass
-from threading import Lock
+from threading import RLock
 from typing import TYPE_CHECKING
 
 from repro.geo.coordinates import GeoPoint, geodesic_distance_km
@@ -117,7 +117,10 @@ class GeoDistanceIndex:
 
     def __init__(self, dataset: "ObservedDataset") -> None:
         self._dataset = dataset
-        self._sync_lock = Lock()
+        # Serialises journal replay, wholesale invalidation and every memo
+        # store; reentrant because _sync falls back to invalidate() while
+        # holding it.  Memo *reads* stay lock-free (GIL-atomic dict lookups).
+        self._sync_lock = RLock()
         self._synced_generation = getattr(dataset, "generation", 0)
         #: Journalled changes absorbed by selective eviction (accounting).
         self.incremental_evictions = 0
@@ -144,16 +147,17 @@ class GeoDistanceIndex:
         mutations are absorbed automatically (and more selectively) by the
         lazy replay in :meth:`_sync`.
         """
-        self._point_km.clear()
-        self._pair_km.clear()
-        self._ixp_profiles.clear()
-        self._as_profiles.clear()
-        self._ixp_spans.clear()
-        self._as_ixp_spans.clear()
-        self._common_spans.clear()
-        self._majority_votes.clear()
-        self._synced_generation = getattr(self._dataset, "generation", 0)
-        self.wholesale_invalidations += 1
+        with self._sync_lock:
+            self._point_km.clear()
+            self._pair_km.clear()
+            self._ixp_profiles.clear()
+            self._as_profiles.clear()
+            self._ixp_spans.clear()
+            self._as_ixp_spans.clear()
+            self._common_spans.clear()
+            self._majority_votes.clear()
+            self._synced_generation = getattr(self._dataset, "generation", 0)
+            self.wholesale_invalidations += 1
 
     # ------------------------------------------------------------------ #
     # Journal synchronisation
@@ -265,7 +269,8 @@ class GeoDistanceIndex:
             return self._point_km[key]
         location = self._dataset.facility_location(facility_id)
         distance = None if location is None else geodesic_distance_km(point, location)
-        self._point_km[key] = distance
+        with self._sync_lock:
+            self._point_km[key] = distance
         return distance
 
     def pair_distance_km(self, facility_a: str, facility_b: str) -> float | None:
@@ -279,7 +284,8 @@ class GeoDistanceIndex:
         loc_b = self._dataset.facility_location(key[1])
         distance = None if loc_a is None or loc_b is None else (
             geodesic_distance_km(loc_a, loc_b))
-        self._pair_km[key] = distance
+        with self._sync_lock:
+            self._pair_km[key] = distance
         return distance
 
     # ------------------------------------------------------------------ #
@@ -292,7 +298,9 @@ class GeoDistanceIndex:
         profile = self._ixp_profiles.get(key)
         if profile is None:
             facilities = self._dataset.facilities_of_ixp(ixp_id)
-            profile = self._ixp_profiles[key] = self._build_profile(point, facilities)
+            profile = self._build_profile(point, facilities)
+            with self._sync_lock:
+                self._ixp_profiles[key] = profile
         return profile
 
     def as_profile(self, point: GeoPoint, asn: int) -> DistanceProfile:
@@ -302,7 +310,9 @@ class GeoDistanceIndex:
         profile = self._as_profiles.get(key)
         if profile is None:
             facilities = self._dataset.facilities_of_as(asn)
-            profile = self._as_profiles[key] = self._build_profile(point, facilities)
+            profile = self._build_profile(point, facilities)
+            with self._sync_lock:
+                self._as_profiles[key] = profile
         return profile
 
     def _build_profile(self, point: GeoPoint, facility_ids: set[str]) -> DistanceProfile:
@@ -342,7 +352,8 @@ class GeoDistanceIndex:
             self._dataset.facilities_of_ixp(key[0]),
             self._dataset.facilities_of_ixp(key[1]),
         )
-        self._ixp_spans[key] = span
+        with self._sync_lock:
+            self._ixp_spans[key] = span
         return span
 
     def as_ixp_span_km(self, asn: int, ixp_id: str) -> tuple[float, float] | None:
@@ -355,7 +366,8 @@ class GeoDistanceIndex:
             self._dataset.facilities_of_as(asn),
             self._dataset.facilities_of_ixp(ixp_id),
         )
-        self._as_ixp_spans[key] = span
+        with self._sync_lock:
+            self._as_ixp_spans[key] = span
         return span
 
     def common_facility_span_km(self, asn: int, ixp_id: str) -> tuple[float, float] | None:
@@ -371,7 +383,8 @@ class GeoDistanceIndex:
         ixp_facilities = self._dataset.facilities_of_ixp(ixp_id)
         common = self._dataset.facilities_of_as(asn) & ixp_facilities
         span = self._span(common, ixp_facilities)
-        self._common_spans[key] = span
+        with self._sync_lock:
+            self._common_spans[key] = span
         return span
 
     # ------------------------------------------------------------------ #
@@ -406,7 +419,8 @@ class GeoDistanceIndex:
         else:
             result = frozenset(
                 facility for facility, count in votes.items() if count > voters / 2.0)
-        self._majority_votes[key] = result
+        with self._sync_lock:
+            self._majority_votes[key] = result
         return result
 
     def _span(

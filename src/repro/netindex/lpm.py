@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import ipaddress
 from bisect import bisect_right
+from threading import Lock
 from typing import Generic, Iterable, Mapping, TypeVar, cast
 
 V = TypeVar("V")
@@ -54,7 +55,7 @@ _UNCACHED = object()
 class LPMIndex(Generic[V]):
     """Immutable longest-prefix-match index from CIDR prefixes to values."""
 
-    __slots__ = ("_tables", "_hosts", "_memo", "_size")
+    __slots__ = ("_tables", "_hosts", "_memo", "_size", "_lock")
 
     def __init__(self, entries: Iterable[tuple[str, V]] | Mapping[str, V] = ()) -> None:
         if isinstance(entries, Mapping):
@@ -90,6 +91,7 @@ class LPMIndex(Generic[V]):
             if table[0]:
                 self._tables[version] = table
         self._memo: dict[str, tuple[V, int] | None] = {}
+        self._lock = Lock()
 
     @staticmethod
     def _flatten(
@@ -173,12 +175,16 @@ class LPMIndex(Generic[V]):
                 slot = bisect_right(starts, numeric) - 1
                 if slot >= 0 and ends[slot] >= numeric:
                     match = (table_values[slot], lengths[slot])
-        self._memo[ip] = match
+        # The match was computed from immutable tables; only the memo store
+        # needs the lock, so the hit path above stays lock-free.
+        with self._lock:
+            self._memo[ip] = match
         return match
 
     def clear_cache(self) -> None:
         """Drop the lookup memo (the interval tables are untouched)."""
-        self._memo.clear()
+        with self._lock:
+            self._memo.clear()
 
     def __len__(self) -> int:
         """Number of distinct registered prefixes."""
@@ -216,7 +222,7 @@ class LPMDeltaView(Generic[V]):
     must stay small relative to the base.
     """
 
-    __slots__ = ("base", "_overlay", "_memo")
+    __slots__ = ("base", "_overlay", "_memo", "_lock")
 
     def __init__(
         self,
@@ -227,6 +233,7 @@ class LPMDeltaView(Generic[V]):
         # canonical prefix -> (version, network_int, prefixlen, value)
         self._overlay: dict[str, tuple[int, int, int, V]] = dict(overlay or {})
         self._memo: dict[str, tuple[V, int] | None] = {}
+        self._lock = Lock()
 
     @property
     def delta_size(self) -> int:
@@ -272,7 +279,8 @@ class LPMDeltaView(Generic[V]):
             # re-registered, so ties go to the overlay (last write wins).
             if match is None or prefixlen >= match[1]:
                 match = (value, prefixlen)
-        self._memo[ip] = match
+        with self._lock:
+            self._memo[ip] = match
         return match
 
 

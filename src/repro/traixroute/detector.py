@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass
+from threading import Lock
 
 from repro.datasources.merge import (
     DOMAIN_INTERFACES,
@@ -93,6 +94,8 @@ class CrossingDetector:
         # dataset or prefix2as map changes underneath.
         self._ixp_memo: dict[str, str | None] = {}
         self._asn_memo: dict[str, int | None] = {}
+        # Serialises memo stores only; memo hits stay lock-free dict reads.
+        self._lock = Lock()
 
     # ------------------------------------------------------------------ #
     # IP classification helpers
@@ -105,7 +108,8 @@ class CrossingDetector:
         result = self.dataset.ixp_of_interface(ip)
         if result is None:
             result = self.dataset.ixp_for_ip(ip)
-        memo[ip] = result
+        with self._lock:
+            memo[ip] = result
         return result
 
     def asn_of_ip(self, ip: str) -> int | None:
@@ -116,7 +120,8 @@ class CrossingDetector:
         result = self.dataset.asn_of_interface(ip)
         if result is None:
             result = self.prefix2as.lookup(ip)
-        memo[ip] = result
+        with self._lock:
+            memo[ip] = result
         return result
 
     # ------------------------------------------------------------------ #
@@ -182,11 +187,15 @@ class CrossingDetector:
             if near_asn is None or far_asn is None or near_asn == far_asn:
                 continue
             adjacencies.append(
-                PrivateAdjacency(near_ip=near, near_asn=near_asn, far_ip=far, far_asn=far_asn)
+                PrivateAdjacency(
+                    near_ip=near, near_asn=near_asn, far_ip=far, far_asn=far_asn
+                )
             )
         return adjacencies
 
-    def private_adjacencies_corpus(self, corpus: TracerouteCorpus) -> list[PrivateAdjacency]:
+    def private_adjacencies_corpus(
+        self, corpus: TracerouteCorpus
+    ) -> list[PrivateAdjacency]:
         """Extract private adjacencies over an entire corpus."""
         adjacencies: list[PrivateAdjacency] = []
         for path in corpus.paths:
@@ -238,6 +247,9 @@ class CorpusDetectionIndex:
         self._synced_dataset = dataset.generation
         self._synced_prefix2as = prefix2as.generation
         self._synced_paths = 0
+        # Serialises revision syncs (and the mutations the sync helpers make
+        # to the detector's memos) when engines race on a shared index.
+        self._sync_lock = Lock()
         #: Full corpus re-scans performed (the first build counts as one).
         self.full_scans = 0
         #: Paths re-detected selectively across all revisions.
@@ -259,6 +271,10 @@ class CorpusDetectionIndex:
 
     # ------------------------------------------------------------------ #
     def _sync(self) -> None:
+        with self._sync_lock:
+            self._sync_locked()
+
+    def _sync_locked(self) -> None:
         detector = self._detector
         if detector is None:
             self._rebuild()

@@ -1,15 +1,19 @@
-"""Tier-1 tests for the static contract checker and its dynamic cross-check.
+"""Tier-1 tests for the static contract checker and its dynamic cross-checks.
 
 Three layers:
 
-* the **live tree** must be contract-clean (that is the whole point of the
-  subsystem — PR 6 fixed every real violation it surfaced);
+* the **live tree** must be contract-clean across all five rule families
+  (that is the whole point of the subsystem — PR 6 fixed every real
+  violation rules 1-3 surfaced, PR 7 every one rules 4-5 surfaced);
 * **seeded-bug fixtures** — patched copies of the tree with one contract
   violation each — must be caught with the right rule, file and line, and a
   clean drop-in module must produce zero false positives;
-* the **dynamic cross-check** must run the full pipeline on the standard
-  tiny synthetic world with a bit-identical outcome, and must catch the
-  same seeded undeclared config read the static rule catches.
+* the **dynamic cross-checks** must run the full pipeline on the standard
+  tiny synthetic world with a bit-identical outcome: the declaration
+  recorder (``repro.contracts.dynamic``) catches the same seeded
+  undeclared config read the static rule catches, and the lock-checking
+  harness (``repro.contracts.dynconc``) proves the parallel schedule
+  performs zero unguarded writes to the shared memos.
 """
 
 from __future__ import annotations
@@ -22,9 +26,12 @@ from pathlib import Path
 
 import pytest
 
+from repro.config import ExperimentConfig
 from repro.contracts import (
     ContractCheckError,
     SourceTree,
+    check_concurrency_discipline,
+    check_determinism,
     check_mutation_discipline,
     check_readonly_outcomes,
     check_step_declarations,
@@ -33,7 +40,14 @@ from repro.contracts import (
     run_all,
 )
 from repro.contracts.dynamic import run_dynamic_cross_check
+from repro.contracts.dynconc import (
+    LockCheckedDict,
+    _WriteLog,
+    run_dynamic_concurrency_check,
+    write_counts,
+)
 from repro.core.step5_private_links import PrivateConnectivityStep
+from repro.study import RemotePeeringStudy
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src" / "repro"
@@ -125,9 +139,11 @@ class TestStepDeclarations:
         _patch(
             root,
             "core/engine.py",
-            "    def _compute_step1(self, config, ixp_id) -> tuple[tuple, ...]:\n"
+            "    def _compute_step1(self, config: InferenceConfig, ixp_id: str)"
+            " -> _Delta:\n"
             "        report = _RecordingReport()",
-            "    def _compute_step1(self, config, ixp_id) -> tuple[tuple, ...]:\n"
+            "    def _compute_step1(self, config: InferenceConfig, ixp_id: str)"
+            " -> _Delta:\n"
             "        self.inputs.dataset.facility_location('FAC-1')  # seeded-domain\n"
             "        report = _RecordingReport()",
         )
@@ -288,6 +304,227 @@ class TestReadonlyOutcomes:
 
 
 # --------------------------------------------------------------------- #
+# Rule 4: concurrency lock discipline (seeded fixtures)
+# --------------------------------------------------------------------- #
+class TestConcurrencyDiscipline:
+    def test_unguarded_shared_write_is_caught_with_file_and_line(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        _patch(
+            root,
+            "core/engine.py",
+            "    def _compute_step1(self, config: InferenceConfig, ixp_id: str)"
+            " -> _Delta:\n"
+            "        report = _RecordingReport()",
+            "    def _compute_step1(self, config: InferenceConfig, ixp_id: str)"
+            " -> _Delta:\n"
+            "        self.inputs.dataset.interface_asn[ixp_id] = 0"
+            "  # seeded-unguarded-write\n"
+            "        report = _RecordingReport()",
+        )
+        violations = check_concurrency_discipline(SourceTree(root))
+        matching = [v for v in violations if v.kind == "unguarded-shared-write"]
+        assert len(matching) == 1
+        violation = matching[0]
+        assert violation.detail == "ObservedDataset:rebind-item"
+        assert violation.context == "step1"
+        assert violation.path.endswith("core/engine.py")
+        assert violation.line == _line_of(
+            root, "core/engine.py", "seeded-unguarded-write"
+        )
+        assert violation.key == (
+            "concurrency:unguarded-shared-write:step1:ObservedDataset:rebind-item"
+        )
+
+    def test_write_under_lock_region_is_not_flagged(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        _patch(
+            root,
+            "core/engine.py",
+            "    def _compute_step1(self, config: InferenceConfig, ixp_id: str)"
+            " -> _Delta:\n"
+            "        report = _RecordingReport()",
+            "    def _compute_step1(self, config: InferenceConfig, ixp_id: str)"
+            " -> _Delta:\n"
+            "        with self._detection_lock:\n"
+            "            self.inputs.dataset.interface_asn[ixp_id] = 0\n"
+            "        report = _RecordingReport()",
+        )
+        violations = check_concurrency_discipline(SourceTree(root))
+        assert [v for v in violations if v.kind == "unguarded-shared-write"] == []
+
+    def test_unused_confinement_is_caught(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        _patch(
+            root,
+            "core/engine.py",
+            'thread_confined=("InferenceReport",),',
+            'thread_confined=("InferenceReport", "RTTCampaignSummary"),',
+        )
+        violations = check_concurrency_discipline(SourceTree(root))
+        matching = [v for v in violations if v.kind == "unused-confinement"]
+        assert len(matching) == 1
+        violation = matching[0]
+        assert violation.context == "step1"
+        assert violation.detail == "RTTCampaignSummary"
+        assert violation.path.endswith("core/engine.py")
+        # The finding anchors on the StepSpec(...) declaration itself, the
+        # line just above the seeded node's name= keyword.
+        assert violation.line == _line_of(root, "core/engine.py", 'name="step1"') - 1
+
+    def test_unknown_guarded_method_is_caught(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        _patch(
+            root,
+            "core/engine.py",
+            "    def _evict_over_budget(self)",
+            "    def _evict_under_budget(self)",
+        )
+        _patch(
+            root,
+            "core/engine.py",
+            "self._evict_over_budget()",
+            "self._evict_under_budget()",
+        )
+        violations = check_concurrency_discipline(SourceTree(root))
+        matching = [v for v in violations if v.kind == "unknown-guarded-method"]
+        assert len(matching) == 1
+        violation = matching[0]
+        assert violation.context == "StepResultCache"
+        assert violation.detail == "_evict_over_budget"
+        assert violation.path.endswith("core/engine.py")
+        assert violation.line == _line_of(
+            root, "core/engine.py", "class StepResultCache"
+        )
+
+    def test_unguarded_call_to_guarded_method_is_caught(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        _patch(
+            root,
+            "core/engine.py",
+            "        self.max_entries = max_entries",
+            "        self.max_entries = max_entries\n"
+            "        self._evict_over_budget()  # seeded-unguarded-guarded-call",
+        )
+        violations = check_concurrency_discipline(SourceTree(root))
+        matching = [v for v in violations if v.kind == "unguarded-guarded-call"]
+        assert len(matching) == 1
+        violation = matching[0]
+        assert violation.context == "StepResultCache.__init__"
+        assert violation.detail == "StepResultCache._evict_over_budget"
+        assert violation.line == _line_of(
+            root, "core/engine.py", "seeded-unguarded-guarded-call"
+        )
+
+    def test_live_tree_has_no_concurrency_findings(self):
+        assert check_concurrency_discipline(SourceTree(SRC_ROOT)) == []
+
+
+# --------------------------------------------------------------------- #
+# Rule 5: determinism lint (seeded fixtures)
+# --------------------------------------------------------------------- #
+class TestDeterminism:
+    def test_seeded_nondeterminism_shapes_are_each_caught(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        fixture = root / "core" / "_fixture_nondet.py"
+        fixture.write_text(
+            "import random\n"
+            "from concurrent.futures import as_completed\n"
+            "\n"
+            "\n"
+            "def jitter() -> float:\n"
+            "    return random.random()  # seeded-nondet-call\n"
+            "\n"
+            "\n"
+            "def merge(futures) -> list:\n"
+            "    out = []\n"
+            "    for future in as_completed(futures):  # seeded-completion-order\n"
+            "        out.append(future.result())\n"
+            "    return out\n"
+            "\n"
+            "\n"
+            "def tags(items) -> dict:\n"
+            "    table = {}\n"
+            "    for item in items:\n"
+            "        table[id(item)] = item  # seeded-id-key\n"
+            "    return table\n"
+            "\n"
+            "\n"
+            "def order() -> list:\n"
+            "    out = []\n"
+            "    for value in {3, 1, 2}:  # seeded-set-iteration\n"
+            "        out.append(value)\n"
+            "    return out\n",
+            encoding="utf-8",
+        )
+        violations = check_determinism(SourceTree(root))
+        by_kind = {v.kind: v for v in violations}
+        assert sorted(by_kind) == [
+            "completion-ordered-merge",
+            "id-keyed-dict",
+            "nondeterministic-call",
+            "unordered-iteration",
+        ]
+        call = by_kind["nondeterministic-call"]
+        assert call.detail == "random.random"
+        assert call.context == "repro.core._fixture_nondet:jitter"
+        assert call.line == _line_of(
+            root, "core/_fixture_nondet.py", "seeded-nondet-call"
+        )
+        assert by_kind["completion-ordered-merge"].line == _line_of(
+            root, "core/_fixture_nondet.py", "seeded-completion-order"
+        )
+        assert by_kind["id-keyed-dict"].detail == "id()-key-store"
+        assert by_kind["id-keyed-dict"].line == _line_of(
+            root, "core/_fixture_nondet.py", "seeded-id-key"
+        )
+        assert by_kind["unordered-iteration"].detail == "for-over-set"
+        assert by_kind["unordered-iteration"].line == _line_of(
+            root, "core/_fixture_nondet.py", "seeded-set-iteration"
+        )
+
+    def test_deterministic_idioms_are_not_flagged(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        fixture = root / "core" / "_fixture_det_clean.py"
+        fixture.write_text(
+            "import random\n"
+            "\n"
+            "\n"
+            "def draw(seed: int) -> float:\n"
+            "    rng = random.Random(seed)  # explicitly seeded: the idiom\n"
+            "    return rng.random()\n"
+            "\n"
+            "\n"
+            "def ordered(values: set) -> list:\n"
+            "    return [value for value in sorted(values)]\n"
+            "\n"
+            "\n"
+            "def count_unique(items) -> int:\n"
+            "    seen = set()\n"
+            "    for item in items:\n"
+            "        seen.add(id(item))  # identity *set* for cycle detection\n"
+            "    return len(seen)\n",
+            encoding="utf-8",
+        )
+        assert check_determinism(SourceTree(root)) == []
+
+    def test_modules_outside_the_engine_scopes_are_not_scanned(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        fixture = root / "topology" / "_fixture_rng.py"
+        fixture.write_text(
+            "import random\n"
+            "\n"
+            "\n"
+            "def shake() -> float:\n"
+            "    return random.random()\n",
+            encoding="utf-8",
+        )
+        assert check_determinism(SourceTree(root)) == []
+
+    def test_live_tree_has_no_determinism_findings(self):
+        assert check_determinism(SourceTree(SRC_ROOT)) == []
+
+
+# --------------------------------------------------------------------- #
 # Waivers
 # --------------------------------------------------------------------- #
 class TestWaivers:
@@ -361,10 +598,10 @@ class TestCli:
             (
                 "domain",
                 "core/engine.py",
-                "    def _compute_step1(self, config, ixp_id) "
-                "-> tuple[tuple, ...]:\n        report = _RecordingReport()",
-                "    def _compute_step1(self, config, ixp_id) "
-                "-> tuple[tuple, ...]:\n"
+                "    def _compute_step1(self, config: InferenceConfig, "
+                "ixp_id: str) -> _Delta:\n        report = _RecordingReport()",
+                "    def _compute_step1(self, config: InferenceConfig, "
+                "ixp_id: str) -> _Delta:\n"
                 "        self.inputs.dataset.facility_location('F')\n"
                 "        report = _RecordingReport()",
             ),
@@ -417,6 +654,51 @@ class TestCli:
         assert completed.returncode == 1
         assert "::error file=" in completed.stdout
         assert "port_capacities:del" in completed.stdout
+
+    def test_cli_exits_two_on_unparseable_tree(self, tmp_path):
+        # A checker *crash* (exit 2) is distinct from findings (exit 1):
+        # an unparseable module means no verdict at all.
+        root = _copy_tree(tmp_path)
+        (root / "core" / "_fixture_broken.py").write_text(
+            "def broken(:\n", encoding="utf-8"
+        )
+        completed = _cli("--root", str(root), "--no-waivers")
+        assert completed.returncode == 2
+        assert "contract checker error" in completed.stderr
+        assert completed.stdout == ""
+
+    def test_cli_text_format_warns_on_unused_waiver(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        waiver_file = tmp_path / "waivers.txt"
+        waiver_file.write_text(
+            "# Fixed long ago; the waiver outlived the finding.\n"
+            "stale:key:a:b\n",
+            encoding="utf-8",
+        )
+        completed = _cli("--root", str(root), "--waivers", str(waiver_file))
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        assert (
+            "warning: unused waiver 'stale:key:a:b' (waiver file line 2)"
+            in completed.stdout
+        )
+        assert "0 violation(s), 0 waived, 1 unused waiver(s)" in completed.stdout
+
+    def test_cli_github_format_warns_on_unused_waiver(self, tmp_path):
+        root = _copy_tree(tmp_path)
+        waiver_file = tmp_path / "waivers.txt"
+        waiver_file.write_text(
+            "# Fixed long ago; the waiver outlived the finding.\n"
+            "stale:key:a:b\n",
+            encoding="utf-8",
+        )
+        completed = _cli(
+            "--root", str(root), "--waivers", str(waiver_file), "--format=github"
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        assert (
+            "::warning file=contracts-waivers.txt,line=2,title=unused waiver::"
+            "waiver 'stale:key:a:b' matched no finding" in completed.stdout
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -485,6 +767,49 @@ class TestDynamicCrossCheck:
         ]
         assert [v.detail for v in dynamic] == ["strong_remote_rtt_ms"]
         # The recording proxies observe without perturbing the computation.
+        assert check.bit_identical
+
+
+# --------------------------------------------------------------------- #
+# The dynamic concurrency cross-check
+# --------------------------------------------------------------------- #
+class TestDynamicConcurrency:
+    def test_lock_checked_dict_records_guard_state_per_mutation(self):
+        from threading import RLock
+
+        log = _WriteLog()
+        lock = RLock()
+        probe: LockCheckedDict = LockCheckedDict("probe", lock, log, {"x": 0})
+        probe["a"] = 1  # unguarded
+        with lock:
+            probe["b"] = 2  # guarded
+            probe.pop("x")
+        del probe["a"]  # unguarded
+        assert [(e.operation, e.guarded) for e in log.events] == [
+            ("setitem", False),
+            ("setitem", True),
+            ("pop", True),
+            ("delitem", False),
+        ]
+        assert dict(probe) == {"b": 2}
+
+    def test_parallel_run_is_lock_clean_and_bit_identical(self):
+        # A fresh study, not the shared session fixture: the harness swaps
+        # the study's memo dicts for instrumented wrappers in place.
+        study = RemotePeeringStudy(ExperimentConfig.tiny(seed=7))
+        check = run_dynamic_concurrency_check(
+            study.inputs,
+            study.config.inference,
+            study.studied_ixp_ids,
+            max_workers=4,
+        )
+        assert check.ok, [(e.label, e.operation) for e in check.unguarded]
+        # The probe must have teeth: a run that records nothing would let
+        # this test rot into a vacuous pass.
+        counts = write_counts(check)
+        assert check.events, "no instrumented writes recorded"
+        assert any(label.startswith("geo.") for label in counts), counts
+        assert "delay_model._min_distance_memo" in counts, counts
         assert check.bit_identical
 
 

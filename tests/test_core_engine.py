@@ -136,11 +136,12 @@ class TestEngineEquivalence:
         _assert_equivalent(small_outcome, reference)
         assert small_outcome.report.inferred()
 
-    def test_parallel_schedule_is_equivalent(self, tiny_study):
+    @pytest.mark.parametrize("max_workers", [2, 4])
+    def test_parallel_schedule_is_equivalent(self, tiny_study, max_workers):
         serial = tiny_study.outcome
         engine = PipelineEngine(
             tiny_study.inputs, delay_model=tiny_study.delay_model,
-            geo_index=tiny_study.geo_index, max_workers=4)
+            geo_index=tiny_study.geo_index, max_workers=max_workers)
         parallel = engine.run(tiny_study.config.inference, tiny_study.studied_ixp_ids)
         assert parallel.report == serial.report
         assert parallel.baseline_report == serial.baseline_report
