@@ -9,10 +9,17 @@ cost of its own experiment.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.config import ExperimentConfig
 from repro.study import RemotePeeringStudy
+
+#: Machine-readable timings emitted at session end, so CI can archive the
+#: perf trajectory instead of scraping terminal tables.
+RESULTS_FILE = "BENCH_results.json"
 
 
 @pytest.fixture(scope="session")
@@ -24,6 +31,33 @@ def study() -> RemotePeeringStudy:
     prepared.outcome
     prepared.validation
     return prepared
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write every collected benchmark timing to :data:`RESULTS_FILE`.
+
+    The file lands in the rootdir as a flat JSON list (one object per
+    benchmark with the stats pytest-benchmark gathered), which CI uploads
+    as an artifact; a session that ran no benchmarks writes an empty list
+    rather than nothing, so the artifact's absence always means "job never
+    got there" instead of "nothing was measured".
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    results = []
+    for bench in getattr(bench_session, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        entry: dict[str, object] = {
+            "name": getattr(bench, "name", None),
+            "fullname": getattr(bench, "fullname", None),
+            "group": getattr(bench, "group", None),
+        }
+        for field in ("min", "max", "mean", "stddev", "median", "rounds"):
+            entry[field] = getattr(stats, field, None)
+        results.append(entry)
+    path = Path(session.config.rootpath) / RESULTS_FILE
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture()

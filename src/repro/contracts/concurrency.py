@@ -14,7 +14,15 @@ walks the transitive callee graph of the node's implementation
 (``PipelineEngine._compute_<node>``), plus the scheduler itself
 (:meth:`~repro.core.engine.PipelineEngine._map_per_ixp`, cut at the node
 implementations), resolving mutation receivers exactly like the mutation
-rule (:mod:`repro.contracts.mutation`) resolves them.  A write reaching an
+rule (:mod:`repro.contracts.mutation`) resolves them.  The scheduler walk
+is additionally cut at the **process boundary**
+(:data:`PROCESS_LOCAL_FUNCTIONS`): the ``executor="process"`` seam ships
+work to ``_process_chain_task`` inside worker processes, where a private
+serial engine (built by ``_process_worker_init``) owns every structure it
+touches — nothing there is shared with the parent's threads, so the
+thread-discipline obligations stop at the pickle.  What the parent *does*
+with the shipped results (``_absorb_per_ixp`` storing them through the
+step cache) stays inside the walked graph.  A write reaching an
 instance of a **shared class** (:data:`SHARED_STATE_CLASSES`) must be
 
 (a) lexically inside a ``with``-statement whose context expression names a
@@ -109,6 +117,17 @@ GUARDED_METHODS: dict[str, frozenset[str]] = {
 #: and key-resolver calls) runs on every pool thread but belongs to no
 #: single STEP_GRAPH node, and may confine nothing.
 SCHEDULER_CONTEXT = "per-ixp-scheduler"
+
+#: Module-level functions of ``repro.core.engine`` that execute inside
+#: worker *processes*, never on the parent's pool threads.  The scheduler
+#: walk is cut here: a worker's engine is process-private (rebuilt from the
+#: pickled inputs by the pool initializer), so its writes answer to the
+#: worker's own serial discipline, not to the parent's lock discipline.
+#: Every entry's existence is verified (``unknown-process-local``) so the
+#: table cannot silently outlive a rename.
+PROCESS_LOCAL_FUNCTIONS: frozenset[str] = frozenset(
+    {"_process_worker_init", "_process_chain_task"}
+)
 
 #: (class name | None, function name, module name).  The module part is only
 #: meaningful for module-level functions (class methods resolve their module
@@ -769,9 +788,37 @@ def check_concurrency_discipline(tree: SourceTree) -> list[Violation]:
                     )
                 )
 
+    # ----- table validation: process-local functions must exist ----- #
+    engine_functions = {
+        statement.name
+        for statement in engine.node.body
+        if isinstance(statement, ast.FunctionDef)
+    }
+    for name in sorted(PROCESS_LOCAL_FUNCTIONS):
+        if name not in engine_functions:
+            violations.append(
+                Violation(
+                    rule="concurrency",
+                    kind="unknown-process-local",
+                    path=engine_path,
+                    line=0,
+                    context=SCHEDULER_CONTEXT,
+                    detail=name,
+                    message=(
+                        f"PROCESS_LOCAL_FUNCTIONS declares {name!r} a "
+                        "worker-process entry point but repro.core.engine "
+                        "defines no such function; the process-boundary cut "
+                        "has drifted from the code"
+                    ),
+                )
+            )
+
     # ----- per-node reachability: writes must be guarded or confined ----- #
     implementations = frozenset(
         ("PipelineEngine", method, "") for method in STEP_IMPLEMENTATIONS.values()
+    )
+    process_boundary: frozenset[_FuncKey] = frozenset(
+        (None, name, engine.module) for name in PROCESS_LOCAL_FUNCTIONS
     )
     per_ixp = [
         decl for decl in declarations.values() if decl.scope == "per-ixp"
@@ -781,7 +828,7 @@ def check_concurrency_discipline(tree: SourceTree) -> list[Violation]:
         (
             SCHEDULER_CONTEXT,
             [("PipelineEngine", "_map_per_ixp", "")],
-            implementations,
+            implementations | process_boundary,
             (),
             0,
         )

@@ -9,10 +9,16 @@ flags the syntactic shapes that break that assumption inside the modules the
 engine executes (``repro.core``, ``repro.geo``, ``repro.netindex``):
 
 * ``nondeterministic-call`` — calls into ``time``/``random``/``os.urandom``/
-  ``uuid``/``secrets``.  Seeded :class:`random.Random` *construction* is
-  allowed (the simulation layer threads explicit RNGs through parameters,
-  which is the deterministic idiom); calling the module-level ``random.*``
-  functions, which share hidden global state, is not.
+  ``uuid``/``secrets``, and any call reached through ``numpy.random`` (under
+  whichever alias the module imports numpy — ``numpy``, ``np`` or the geo
+  kernel's optional ``_np``).  Seeded :class:`random.Random` *construction*
+  is allowed (the simulation layer threads explicit RNGs through parameters,
+  which is the deterministic idiom); calling module-level functions that
+  share hidden global state is not.  Plain numpy array arithmetic is fine —
+  the vectorised geometry kernel deliberately restricts itself to elementwise
+  ufuncs that are bit-identical to their scalar counterparts (and routes
+  ``atan2`` through ``frompyfunc(math.atan2)`` where they are not); only the
+  ``numpy.random`` namespace is stateful.
 * ``unordered-iteration`` — a ``for`` loop directly over a set literal, set
   comprehension or ``set()``/``frozenset()`` call.  Iteration order of sets
   is insertion-and-hash dependent, so any ordered output fed from such a
@@ -55,6 +61,30 @@ _NONDETERMINISTIC_MODULES: dict[str, frozenset[str] | None] = {
 #: ``random`` attributes that are deterministic to *construct*: an explicit
 #: RNG object seeded by the caller is the idiom the simulation layer uses.
 _ALLOWED_RANDOM_ATTRS: frozenset[str] = frozenset({"Random"})
+
+#: Names numpy is imported under in the covered modules.  The geo kernel
+#: binds its optional import to ``_np`` so the fallback stays importable.
+_NUMPY_ALIASES: frozenset[str] = frozenset({"numpy", "np", "_np"})
+
+
+def _numpy_random_chain(func: ast.expr) -> bool:
+    """Whether a call's func reaches through ``numpy.random`` (any alias).
+
+    Walks an attribute chain like ``_np.random.default_rng`` down to its
+    root :class:`ast.Name`; flags it when the root is a numpy alias and
+    ``random`` appears anywhere along the chain.  Plain ufunc calls
+    (``np.sqrt``, ``np.where``...) never traverse ``random`` and pass.
+    """
+    chain: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    return (
+        isinstance(node, ast.Name)
+        and node.id in _NUMPY_ALIASES
+        and "random" in chain
+    )
 
 
 def _set_valued(node: ast.expr) -> bool:
@@ -142,6 +172,18 @@ class _ModuleScan:
 
     def _check_node(self, node: ast.AST, qual: str) -> None:
         if isinstance(node, ast.Call):
+            if _numpy_random_chain(node.func):
+                self._emit(
+                    node,
+                    "nondeterministic-call",
+                    "numpy.random",
+                    "call through numpy.random: the legacy namespace shares "
+                    "hidden global state and even seeded Generators are not "
+                    "part of the engine's bit-identical contract — thread an "
+                    "explicitly seeded random.Random through parameters "
+                    "instead",
+                    qual,
+                )
             dotted = self._nondeterministic_name(node.func)
             if dotted is not None:
                 self._emit(

@@ -194,20 +194,34 @@ def run_dynamic_concurrency_check(
     ixp_ids: Sequence[str],
     *,
     max_workers: int = 4,
+    executor: str = "thread",
 ) -> DynamicConcurrencyCheck:
     """Run the pipeline twice — instrumented-parallel and plain-serial.
 
-    The instrumented engine schedules the per-IXP nodes on a real thread
-    pool and records every mutation of the shared memos; the reference
+    The instrumented engine schedules the per-IXP nodes on the requested
+    executor and records every mutation of the shared memos; the reference
     engine runs serially over the same inputs with its own result cache.
     The wrappers stay installed for the reference run (they only observe),
     so its writes are recorded too — all of them from the single main
     thread, where the guarded store paths hold the locks just the same.
+
+    Under ``executor="process"`` the per-IXP chains run in worker
+    processes, so the recorded events cover the *parent's* share of the
+    work — the global nodes (traceroute, Steps 4-5), the lazy dataset
+    views they fill, and the scheduler's absorb path.  The worker pool is
+    warmed **before** instrumentation: the initializer pickles the inputs,
+    and the lock-checking wrappers (which hold real locks) must not be in
+    the picture at that point.
     """
     log = _WriteLog()
-    engine = PipelineEngine(inputs, max_workers=max_workers)
-    _instrument(engine, inputs, log)
-    outcome = engine.run(config, list(ixp_ids))
+    engine = PipelineEngine(inputs, max_workers=max_workers, executor=executor)
+    try:
+        if executor == "process":
+            engine._ensure_process_pool()
+        _instrument(engine, inputs, log)
+        outcome = engine.run(config, list(ixp_ids))
+    finally:
+        engine.shutdown()
     reference = PipelineEngine(inputs, max_workers=None).run(config, list(ixp_ids))
     return DynamicConcurrencyCheck(
         events=list(log.events),

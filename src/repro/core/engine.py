@@ -78,8 +78,9 @@ from __future__ import annotations
 import enum
 import hashlib
 import sys
+import time
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, fields, is_dataclass
 from threading import Lock
 from typing import Any, Callable, NamedTuple, Sequence, cast
@@ -391,6 +392,21 @@ class StepResultCache:
             self._evict_over_budget()
             return value
 
+    def peek(self, key: str) -> tuple[bool, object]:
+        """``(present, value)`` for ``key`` without computing on a miss.
+
+        Refreshes the entry's LRU recency but records neither a hit nor a
+        miss — the process scheduler peeks every per-IXP node to decide
+        which IXPs still need worker trips, and those probes would otherwise
+        distort the per-step accounting.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return (False, None)
+            self._entries.move_to_end(key)
+            return (True, entry[0])
+
     def _evict_over_budget(self) -> None:
         """Drop least-recently-used entries until the budget holds (locked).
 
@@ -597,11 +613,26 @@ class PipelineEngine:
     :class:`~repro.core.pipeline.RemotePeeringPipeline` are thin layers on
     top of :meth:`run`.
 
-    ``max_workers`` schedules the per-IXP nodes (Steps 1-3 and the baseline)
-    on a thread pool; Steps 1-3 are independent across IXPs and every shared
-    structure they touch (the dataset views, the geo index and delay-model
-    memos, the cache) tolerates concurrent lazy fills, so results are
-    identical to the serial schedule.
+    ``max_workers`` plus ``executor`` schedule the per-IXP nodes (Steps 1-3
+    and the baseline).  ``executor="thread"`` (the default) runs them on a
+    persistent :class:`ThreadPoolExecutor`; Steps 1-3 are independent across
+    IXPs and every shared structure they touch (the dataset views, the geo
+    index and delay-model memos, the cache) tolerates concurrent lazy fills,
+    so results are identical to the serial schedule.  ``executor="process"``
+    ships each pending IXP's chain to a persistent
+    :class:`ProcessPoolExecutor` whose workers hold a pickled snapshot of
+    the inputs (true CPU parallelism past the GIL); the replayable report
+    deltas the chain returns are plain picklable tuples, and the parent
+    stores them under the very cache keys the serial schedule would have
+    used, merging in deterministic monolithic order — so outcomes stay
+    bit-identical.  ``executor="serial"`` ignores ``max_workers``.
+
+    Pools are created lazily, reused across runs (:meth:`executor_stats`
+    counts reuses) and released by :meth:`shutdown` (the engine is also a
+    context manager).  A journalled inputs
+    revision recreates the process pool on the next run — the workers'
+    snapshots would otherwise answer for stale data; direct raw mutation of
+    the inputs is (exactly as for the caches) not detected.
     """
 
     def __init__(
@@ -614,6 +645,8 @@ class PipelineEngine:
         cache_max_entries: int | None = None,
         cache_max_bytes: int | None = None,
         max_workers: int | None = None,
+        executor: str = "thread",
+        clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.inputs = inputs
         self.delay_model = delay_model or DelayModel()
@@ -629,7 +662,33 @@ class PipelineEngine:
             raise InferenceError(
                 "cache budgets must be set on the shared cache itself")
         self.cache = cache
+        if executor not in ("serial", "thread", "process"):
+            raise InferenceError(
+                f"unknown executor {executor!r}; "
+                "expected 'serial', 'thread' or 'process'")
+        self.executor = executor
         self.max_workers = max_workers
+        # Persistent per-engine pools (the former pool-per-run churn is a
+        # counted non-event now): created lazily by the first parallel run,
+        # reused by every later one, released by shutdown().  All pool
+        # state is guarded by _pool_lock.
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._process_pool: ProcessPoolExecutor | None = None
+        self._process_inputs_token: object | None = None
+        self._pools_created = 0
+        self._pool_reuses = 0
+        self._pool_lock = Lock()
+        # Cumulative wall-clock per run phase (seconds), accumulated under
+        # _pool_lock so concurrent runs on a shared engine stay consistent.
+        # "per_ixp_map" is the schedulable fan-out the executor seam
+        # parallelises; "run" is the whole of run() including the serial
+        # global nodes and outcome assembly.  The clock is injected (not
+        # called as time.perf_counter inline) so the accounting is pure
+        # telemetry: no step result depends on it, and determinism-sensitive
+        # harnesses can pass a stub.
+        self._clock = clock
+        self._phase_seconds: dict[str, float] = {"per_ixp_map": 0.0, "run": 0.0}
+        self._runs_timed = 0
         # Per-path corpus detection, maintained incrementally across
         # journalled prefix revisions (created on the first traceroute node);
         # the lock makes the lazy creation build-once under concurrent runs.
@@ -641,6 +700,89 @@ class PipelineEngine:
         return self.cache.eviction_stats()
 
     # ------------------------------------------------------------------ #
+    # Executor lifecycle
+    # ------------------------------------------------------------------ #
+    def _inputs_snapshot_token(self) -> object:
+        """Version stamp of the whole inputs bundle, for pool staleness.
+
+        Built from the members' ``version_token()`` stamps, so every
+        journalled revision (and any direct growth/shrink the size hints
+        catch) changes it; same-size direct mutation is not detected,
+        exactly as for the step cache.
+        """
+        inputs = self.inputs
+        return (
+            inputs.dataset.version_token(),
+            inputs.ping_result.version_token(),
+            inputs.corpus.version_token(),
+            inputs.prefix2as.version_token(),
+        )
+
+    def _ensure_thread_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            pool = self._thread_pool
+            if pool is None:
+                pool = ThreadPoolExecutor(max_workers=self.max_workers)
+                self._thread_pool = pool
+                self._pools_created += 1
+            else:
+                self._pool_reuses += 1
+            return pool
+
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        token = self._inputs_snapshot_token()
+        with self._pool_lock:
+            pool = self._process_pool
+            if pool is not None and self._process_inputs_token != token:
+                # The workers hold a pickled snapshot of the inputs; after a
+                # journalled revision they would answer for stale data.
+                pool.shutdown(wait=True)
+                pool = None
+                self._process_pool = None
+            if pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_process_worker_init,
+                    initargs=(self.inputs, self.delay_model),
+                )
+                self._process_pool = pool
+                self._process_inputs_token = token
+                self._pools_created += 1
+            else:
+                self._pool_reuses += 1
+            return pool
+
+    def executor_stats(self) -> dict[str, object]:
+        """Executor-seam accounting: pool lifecycle, reuse and phase timings."""
+        with self._pool_lock:
+            return {
+                "executor": self.executor,
+                "max_workers": self.max_workers,
+                "pools_created": self._pools_created,
+                "pool_reuses": self._pool_reuses,
+                "thread_pool_live": self._thread_pool is not None,
+                "process_pool_live": self._process_pool is not None,
+                "runs_timed": self._runs_timed,
+                "phase_seconds": dict(self._phase_seconds),
+            }
+
+    def shutdown(self) -> None:
+        """Release the engine's persistent executor pools (idempotent)."""
+        with self._pool_lock:
+            if self._thread_pool is not None:
+                self._thread_pool.shutdown(wait=True)
+                self._thread_pool = None
+            if self._process_pool is not None:
+                self._process_pool.shutdown(wait=True)
+                self._process_pool = None
+
+    def __enter__(self) -> PipelineEngine:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ #
     def run(self, config: InferenceConfig, ixp_ids: Sequence[str]) -> PipelineOutcome:
         """Run every enabled step for the given IXPs under one configuration."""
         if not ixp_ids:
@@ -649,7 +791,9 @@ class PipelineEngine:
         resolver = _KeyResolver(config, ixp_ids, self.inputs)
         cache = self.cache
 
+        run_started = self._clock()
         per_ixp = self._map_per_ixp(config, ixp_ids, resolver)
+        map_elapsed = self._clock() - run_started
 
         crossings, adjacencies = cast(
             "tuple[list[IXPCrossing], list[PrivateAdjacency]]",
@@ -691,6 +835,11 @@ class PipelineEngine:
         for results in per_ixp:
             rtt_summary.merge_from(results.summary)
 
+        with self._pool_lock:
+            self._phase_seconds["per_ixp_map"] += map_elapsed
+            self._phase_seconds["run"] += self._clock() - run_started
+            self._runs_timed += 1
+
         return PipelineOutcome(
             ixp_ids=list(ixp_ids),
             report=report,
@@ -711,11 +860,93 @@ class PipelineEngine:
         ixp_ids: tuple[str, ...],
         resolver: _KeyResolver,
     ) -> list[_PerIXPResults]:
-        if self.max_workers and self.max_workers > 1 and len(ixp_ids) > 1:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                return list(pool.map(
-                    lambda ixp_id: self._per_ixp_chain(config, ixp_id, resolver), ixp_ids))
+        parallel = (self.executor != "serial"
+                    and self.max_workers is not None and self.max_workers > 1
+                    and len(ixp_ids) > 1)
+        if parallel and self.executor == "process":
+            return self._map_per_ixp_processes(config, ixp_ids, resolver)
+        if parallel:
+            pool = self._ensure_thread_pool()
+            return list(pool.map(
+                lambda ixp_id: self._per_ixp_chain(config, ixp_id, resolver), ixp_ids))
         return [self._per_ixp_chain(config, ixp_id, resolver) for ixp_id in ixp_ids]
+
+    def _cached_per_ixp(
+        self, ixp_id: str, resolver: _KeyResolver
+    ) -> _PerIXPResults | None:
+        """The chain's results if every node is already cached, else ``None``.
+
+        Uses :meth:`StepResultCache.peek` so probing which IXPs still need a
+        worker trip does not distort the cache's hit/miss accounting.
+        """
+        cache = self.cache
+        hit1, step1 = cache.peek(resolver.key("step1", ixp_id))
+        hit2, summary = cache.peek(resolver.key("step2", ixp_id))
+        hit3, step3_pair = cache.peek(resolver.key("step3", ixp_id))
+        hit_b, baseline = cache.peek(resolver.key("baseline", ixp_id))
+        if not (hit1 and hit2 and hit3 and hit_b):
+            return None
+        step3_delta, feasible = cast("tuple[_Delta, _FeasibleMap]", step3_pair)
+        return _PerIXPResults(step1_delta=cast("_Delta", step1),
+                              summary=cast(RTTCampaignSummary, summary),
+                              step3_delta=step3_delta, feasible=feasible,
+                              baseline_delta=cast("_Delta", baseline))
+
+    def _absorb_per_ixp(
+        self, ixp_id: str, resolver: _KeyResolver, shipped: _PerIXPResults
+    ) -> _PerIXPResults:
+        """Store a worker-computed chain under the parent's cache keys.
+
+        Goes through :meth:`StepResultCache.get_or_compute` so the store
+        obeys the cache's budgets and accounting; a concurrent run that
+        filled a node first wins, exactly as for thread workers.
+        """
+        cache = self.cache
+        step1 = cast("_Delta", cache.get_or_compute(
+            "step1", resolver.key("step1", ixp_id), lambda: shipped.step1_delta))
+        summary = cast(RTTCampaignSummary, cache.get_or_compute(
+            "step2", resolver.key("step2", ixp_id), lambda: shipped.summary))
+        step3_delta, feasible = cast("tuple[_Delta, _FeasibleMap]", cache.get_or_compute(
+            "step3", resolver.key("step3", ixp_id),
+            lambda: (shipped.step3_delta, shipped.feasible)))
+        baseline = cast("_Delta", cache.get_or_compute(
+            "baseline", resolver.key("baseline", ixp_id),
+            lambda: shipped.baseline_delta))
+        return _PerIXPResults(step1_delta=step1, summary=summary,
+                              step3_delta=step3_delta, feasible=feasible,
+                              baseline_delta=baseline)
+
+    def _map_per_ixp_processes(
+        self,
+        config: InferenceConfig,
+        ixp_ids: tuple[str, ...],
+        resolver: _KeyResolver,
+    ) -> list[_PerIXPResults]:
+        """Ship each uncached IXP's chain to the persistent process pool.
+
+        Workers hold their own engine (built from the pickled inputs by the
+        pool initializer) and return a :class:`_PerIXPResults` of replayable
+        deltas — plain picklable tuples.  The parent absorbs each shipped
+        chain into its cache under the serial schedule's keys and returns
+        the chains in ``ixp_ids`` order, so the downstream merge is the
+        deterministic monolithic one.
+        """
+        results: dict[str, _PerIXPResults] = {}
+        pending: list[str] = []
+        for ixp_id in ixp_ids:
+            cached = self._cached_per_ixp(ixp_id, resolver)
+            if cached is not None:
+                results[ixp_id] = cached
+            else:
+                pending.append(ixp_id)
+        if pending:
+            pool = self._ensure_process_pool()
+            shipped_chains = list(pool.map(
+                _process_chain_task,
+                [(config, ixp_id) for ixp_id in pending]))
+            for ixp_id, shipped in zip(pending, shipped_chains):
+                results[ixp_id] = self._absorb_per_ixp(ixp_id, resolver, shipped)
+        return [results[ixp_id] for ixp_id in ixp_ids]
 
     def _per_ixp_chain(
         self, config: InferenceConfig, ixp_id: str, resolver: _KeyResolver
@@ -830,6 +1061,39 @@ class PipelineEngine:
             step5 = PrivateConnectivityStep(self.inputs, config, geo_index=self.geo_index)
             step5.run(list(ixp_ids), report, adjacencies, routers, feasible)
         return tuple(report.log or ())
+
+
+# --------------------------------------------------------------------- #
+# Process-executor worker side
+# --------------------------------------------------------------------- #
+# One serial engine per worker process, built from the pickled inputs by
+# the pool initializer and reused for every task the worker serves.
+_WORKER_ENGINE: PipelineEngine | None = None
+
+
+def _process_worker_init(inputs: InferenceInputs, delay_model: DelayModel) -> None:
+    """Pool initializer: build the worker's serial engine, warm its geometry.
+
+    Runs once per worker process.  The bulk geometry prebuild over the
+    vantage-point footprint replaces what would otherwise be thousands of
+    lazy scalar memo fills on the worker's first chain.
+    """
+    global _WORKER_ENGINE
+    engine = PipelineEngine(inputs, delay_model=delay_model, executor="serial")
+    geo_index = engine.geo_index
+    if geo_index is not None:
+        geo_index.prebuild(inputs.vantage_point_locations())
+    _WORKER_ENGINE = engine
+
+
+def _process_chain_task(task: tuple[InferenceConfig, str]) -> _PerIXPResults:
+    """Run one IXP's per-IXP chain inside a worker process."""
+    engine = _WORKER_ENGINE
+    if engine is None:
+        raise InferenceError("process worker used before its initializer ran")
+    config, ixp_id = task
+    resolver = _KeyResolver(config, (ixp_id,), engine.inputs)
+    return engine._per_ixp_chain(config, ixp_id, resolver)
 
 
 class SweepRunner:

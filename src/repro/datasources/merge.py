@@ -205,6 +205,19 @@ class ObservedDataset(Versioned):
         self._lan_state = None
         self._ixp_members = {}
 
+    def __getstate__(self) -> dict[str, object]:
+        state = dict(self.__dict__)
+        # The lock is process-local and the LAN LPM state is derived: a
+        # worker process rebuilds both lazily from the public dicts.  The
+        # other derived indexes carry their own pickling contracts.
+        state["_view_lock"] = None
+        state["_lan_state"] = None
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._view_lock = Lock()
+
     def domain_token(self, domain: str) -> tuple[int, int]:
         """``(domain generation, size hint)`` version token for one domain.
 

@@ -130,6 +130,17 @@ class DelayModel:
         self._min_distance_memo: dict[float, float] = {}
         self._lock = Lock()
 
+    def __getstate__(self) -> dict[str, object]:
+        # The lock is process-local; the memo's entries are pure functions
+        # of the (immutable) parameters, so they travel to workers as-is.
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = Lock()
+
     # ------------------------------------------------------------------ #
     # Speed bounds
     # ------------------------------------------------------------------ #

@@ -93,6 +93,30 @@ class LPMIndex(Generic[V]):
         self._memo: dict[str, tuple[V, int] | None] = {}
         self._lock = Lock()
 
+    def __getstate__(
+        self,
+    ) -> tuple[
+        dict[int, tuple[list[int], list[int], list[V], list[int]]],
+        dict[tuple[int, int], V],
+        dict[str, tuple[V, int] | None],
+        int,
+    ]:
+        # The lock is process-local; the tables (and the memo, whose entries
+        # are pure functions of them) travel to the worker as-is.
+        return (self._tables, self._hosts, self._memo, self._size)
+
+    def __setstate__(
+        self,
+        state: tuple[
+            dict[int, tuple[list[int], list[int], list[V], list[int]]],
+            dict[tuple[int, int], V],
+            dict[str, tuple[V, int] | None],
+            int,
+        ],
+    ) -> None:
+        self._tables, self._hosts, self._memo, self._size = state
+        self._lock = Lock()
+
     @staticmethod
     def _flatten(
         intervals: list[tuple[int, int, V, int]],
@@ -233,6 +257,27 @@ class LPMDeltaView(Generic[V]):
         # canonical prefix -> (version, network_int, prefixlen, value)
         self._overlay: dict[str, tuple[int, int, int, V]] = dict(overlay or {})
         self._memo: dict[str, tuple[V, int] | None] = {}
+        self._lock = Lock()
+
+    def __getstate__(
+        self,
+    ) -> tuple[
+        LPMIndex[V],
+        dict[str, tuple[int, int, int, V]],
+        dict[str, tuple[V, int] | None],
+    ]:
+        # The lock is process-local; base, overlay and memo travel as-is.
+        return (self.base, self._overlay, self._memo)
+
+    def __setstate__(
+        self,
+        state: tuple[
+            LPMIndex[V],
+            dict[str, tuple[int, int, int, V]],
+            dict[str, tuple[V, int] | None],
+        ],
+    ) -> None:
+        self.base, self._overlay, self._memo = state
         self._lock = Lock()
 
     @property

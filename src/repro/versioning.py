@@ -295,6 +295,16 @@ class GenerationGuardedIndex(Generic[P]):
         with self._lock:
             self._state = None
 
+    def __getstate__(self) -> bool:
+        # Locks cannot cross process boundaries and a derived payload is
+        # rebuildable by definition: ship nothing.  The sentinel must be
+        # truthy — pickle skips __setstate__ for falsy states.
+        return True
+
+    def __setstate__(self, state: bool) -> None:
+        self._state = None
+        self._lock = Lock()
+
     @property
     def is_built(self) -> bool:
         """Whether a payload is currently held (mainly for tests)."""

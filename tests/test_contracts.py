@@ -812,6 +812,25 @@ class TestDynamicConcurrency:
         assert "delay_model._min_distance_memo" in counts, counts
         assert check.bit_identical
 
+    def test_process_executor_run_is_lock_clean_and_bit_identical(self):
+        # The per-IXP chains run in worker processes here, so the recorded
+        # events cover the parent's share: the global nodes, the lazy
+        # dataset views and the scheduler's absorb path.  (No delay-model
+        # writes are expected — Step 3 runs inside the workers.)
+        study = RemotePeeringStudy(ExperimentConfig.tiny(seed=7))
+        check = run_dynamic_concurrency_check(
+            study.inputs,
+            study.config.inference,
+            study.studied_ixp_ids,
+            max_workers=2,
+            executor="process",
+        )
+        assert check.ok, [(e.label, e.operation) for e in check.unguarded]
+        counts = write_counts(check)
+        assert check.events, "no instrumented writes recorded"
+        assert any(label.startswith("geo.") for label in counts), counts
+        assert check.bit_identical
+
 
 # --------------------------------------------------------------------- #
 # Whole-checker integration

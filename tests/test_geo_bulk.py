@@ -1,0 +1,138 @@
+"""Bit-exactness of the bulk geometry kernel against the scalar solver.
+
+``geodesic_distances_km`` is the vectorised prebuild path behind
+``GeoDistanceIndex.prebuild``; its whole contract is **exact** equality with
+the per-call ``geodesic_distance_km`` — the memo dicts it fills are the same
+dicts the lazy path fills, and the engine's cache-hit proofs assume a
+prebuilt index is observationally indistinguishable from a cold one.  So
+every comparison here is ``==`` on floats, never ``approx``.
+
+The grid deliberately covers the kernel's hard regions: identical points
+(the coincident short-circuit), equatorial pairs (``cos_sq_alpha == 0``),
+near-antipodal pairs (slow or failed convergence, haversine fallback),
+signed-zero latitudes (the per-latitude setup table must not collapse
+``-0.0`` into ``0.0``), swapped duplicates (canonical endpoint ordering)
+and tiny separations (convergence on the first iteration).
+
+Everything runs twice — once with numpy present and once with the import
+forced away (``coordinates._np = None``), because CI runs the suite without
+numpy and the pure-Python fallback must agree with the scalar solver too.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import coordinates
+from repro.geo.coordinates import (
+    GeoPoint,
+    geodesic_distance_km,
+    geodesic_distances_km,
+)
+
+latitudes = st.floats(min_value=-90.0, max_value=90.0, allow_nan=False)
+longitudes = st.floats(min_value=-180.0, max_value=180.0, allow_nan=False)
+points = st.builds(GeoPoint, latitude=latitudes, longitude=longitudes)
+
+
+def _edge_case_pairs() -> list[tuple[GeoPoint, GeoPoint]]:
+    """A deterministic grid concentrated on the kernel's hard regions."""
+    rng = random.Random(20260807)
+    pairs: list[tuple[GeoPoint, GeoPoint]] = []
+    # Broad seeded coverage.
+    for _ in range(300):
+        pairs.append((
+            GeoPoint(rng.uniform(-90.0, 90.0), rng.uniform(-180.0, 180.0)),
+            GeoPoint(rng.uniform(-90.0, 90.0), rng.uniform(-180.0, 180.0)),
+        ))
+    # Identical points: the coincident short-circuit.
+    for _ in range(20):
+        point = GeoPoint(rng.uniform(-90.0, 90.0), rng.uniform(-180.0, 180.0))
+        pairs.append((point, point))
+    # Equatorial pairs: cos_sq_alpha == 0 guards the 0/0 division.
+    for _ in range(40):
+        pairs.append((
+            GeoPoint(0.0, rng.uniform(-180.0, 180.0)),
+            GeoPoint(0.0, rng.uniform(-180.0, 180.0)),
+        ))
+    # Near-antipodal and exactly antipodal: slow/failed convergence.
+    for _ in range(40):
+        lat = rng.uniform(-89.0, 89.0)
+        lon = rng.uniform(-179.0, 179.0)
+        wobble_lat = rng.uniform(-0.01, 0.01)
+        wobble_lon = rng.uniform(-0.01, 0.01)
+        anti_lon = lon + 180.0 if lon < 0.0 else lon - 180.0
+        pairs.append((
+            GeoPoint(lat, lon),
+            GeoPoint(
+                max(-90.0, min(90.0, -lat + wobble_lat)),
+                max(-180.0, min(180.0, anti_lon + wobble_lon)),
+            ),
+        ))
+    pairs.append((GeoPoint(0.0, 0.0), GeoPoint(0.0, 180.0)))
+    pairs.append((GeoPoint(0.0, 0.0), GeoPoint(0.0, 179.999999)))
+    pairs.append((GeoPoint(90.0, 0.0), GeoPoint(-90.0, 0.0)))
+    # Tiny separations: first-iteration convergence.
+    for _ in range(30):
+        lat = rng.uniform(-89.0, 89.0)
+        lon = rng.uniform(-179.0, 179.0)
+        pairs.append((
+            GeoPoint(lat, lon),
+            GeoPoint(lat + rng.uniform(-1e-7, 1e-7),
+                     lon + rng.uniform(-1e-7, 1e-7)),
+        ))
+    # Signed zero: -0.0 and 0.0 are distinct setup-table rows.
+    pairs.append((GeoPoint(-0.0, 10.0), GeoPoint(0.0, 20.0)))
+    pairs.append((GeoPoint(0.0, -0.0), GeoPoint(-0.0, 0.0)))
+    # Swapped duplicates: the canonical endpoint ordering must make the
+    # bulk result independent of argument order, like the scalar path.
+    for a, b in rng.sample(pairs, 100):
+        pairs.append((b, a))
+    return pairs
+
+
+@pytest.fixture(params=["numpy", "fallback"])
+def kernel_mode(request, monkeypatch):
+    """Run each test with the vectorised kernel and with the scalar fallback."""
+    if request.param == "numpy":
+        if coordinates._np is None:
+            pytest.skip("numpy not installed; vectorised path unavailable")
+    else:
+        monkeypatch.setattr(coordinates, "_np", None)
+    return request.param
+
+
+class TestBulkMatchesScalar:
+    def test_edge_case_grid_is_bit_identical(self, kernel_mode):
+        pairs = _edge_case_pairs()
+        bulk = geodesic_distances_km(pairs)
+        assert len(bulk) == len(pairs)
+        for (a, b), distance in zip(pairs, bulk):
+            assert distance == geodesic_distance_km(a, b), (a, b)
+
+    def test_empty_input(self, kernel_mode):
+        assert geodesic_distances_km([]) == []
+
+    def test_swapped_arguments_agree_within_one_call(self, kernel_mode):
+        a = GeoPoint(52.37, 4.89)
+        b = GeoPoint(44.43, 26.10)
+        forward, backward = geodesic_distances_km([(a, b), (b, a)])
+        assert forward == backward
+        assert forward == geodesic_distance_km(a, b)
+
+    @given(pair_list=st.lists(st.tuples(points, points), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_random_batches_are_bit_identical(self, pair_list):
+        bulk = geodesic_distances_km(pair_list)
+        scalar = [geodesic_distance_km(a, b) for a, b in pair_list]
+        assert bulk == scalar
+
+    def test_fallback_matches_vectorised(self, monkeypatch):
+        if coordinates._np is None:
+            pytest.skip("numpy not installed; nothing to cross-check")
+        pairs = _edge_case_pairs()
+        vectorised = geodesic_distances_km(pairs)
+        monkeypatch.setattr(coordinates, "_np", None)
+        assert geodesic_distances_km(pairs) == vectorised
