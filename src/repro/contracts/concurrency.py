@@ -93,6 +93,10 @@ SHARED_STATE_CLASSES: frozenset[str] = frozenset(
         # declare them thread_confined instead.
         "InferenceReport",
         "RTTCampaignSummary",
+        # The engine's resilience-event journal: recorded to by the
+        # scheduler around pool-thread collection, snapshotted by
+        # executor_stats() from any thread; appends must hold its lock.
+        "ResilienceLog",
     }
 )
 

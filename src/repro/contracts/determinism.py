@@ -6,7 +6,9 @@ one.  Both proofs assume the computations themselves are deterministic:
 results must not depend on wall-clock time, process-lifetime randomness,
 hash-order of sets, object identity, or thread completion order.  This rule
 flags the syntactic shapes that break that assumption inside the modules the
-engine executes (``repro.core``, ``repro.geo``, ``repro.netindex``):
+engine executes (``repro.core``, ``repro.geo``, ``repro.netindex``, and the
+resilience layer ``repro.resilience`` minus its deliberately-exempt fault
+injection harness — see ``_EXEMPT_MODULES``):
 
 * ``nondeterministic-call`` — calls into ``time``/``random``/``os.urandom``/
   ``uuid``/``secrets``, and any call reached through ``numpy.random`` (under
@@ -45,7 +47,16 @@ from repro.contracts.model import Violation
 from repro.contracts.tree import ModuleInfo, SourceTree, walk_scope
 
 #: The module prefixes (under the analyzed package) the rule covers.
-DETERMINISM_SCOPES: tuple[str, ...] = ("core", "geo", "netindex")
+DETERMINISM_SCOPES: tuple[str, ...] = ("core", "geo", "netindex", "resilience")
+
+#: Modules inside the scopes that the rule deliberately skips, the same
+#: escape hatch the mutation rule grants ``contracts.dynconc``: the fault
+#: injection harness *is* the fault — its job is to call ``os._exit`` and
+#: ``time.sleep`` on a deterministically planned schedule — so flagging
+#: those calls would force a waiver for behaviour that is the module's
+#: whole contract.  Everything else under ``repro.resilience`` (the retry
+#: policy, the event journal) stays fully covered.
+_EXEMPT_MODULES: tuple[str, ...] = ("resilience.faultplan",)
 
 #: module alias -> the attribute names that are nondeterministic to call.
 #: ``None`` means every attribute of the module (``time.time``,
@@ -255,11 +266,14 @@ def check_determinism(tree: SourceTree) -> list[Violation]:
     """Run rule family 5 over a source tree."""
     violations: list[Violation] = []
     prefixes = tuple(f"{tree.package}.{scope}" for scope in DETERMINISM_SCOPES)
+    exempt = tuple(f"{tree.package}.{suffix}" for suffix in _EXEMPT_MODULES)
     for name in sorted(tree.modules):
         if not (
             name in prefixes
             or any(name.startswith(prefix + ".") for prefix in prefixes)
         ):
+            continue
+        if name in exempt:
             continue
         violations.extend(_ModuleScan(tree, tree.modules[name]).scan())
     violations.sort(key=lambda v: (v.path, v.line, v.kind, v.detail))

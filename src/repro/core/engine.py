@@ -79,8 +79,15 @@ import enum
 import hashlib
 import sys
 import time
+import warnings
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field, fields, is_dataclass
 from threading import Lock
 from typing import Any, Callable, NamedTuple, Sequence, cast
@@ -107,9 +114,23 @@ from repro.core.types import (
     InferenceStep,
     PeeringClassification,
 )
-from repro.exceptions import InferenceError
+from repro.exceptions import (
+    ExecutorDegradedWarning,
+    InferenceError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
 from repro.geo.delay_model import DelayModel
 from repro.geo.distindex import GeoDistanceIndex
+from repro.resilience import (
+    FaultPlan,
+    ResilienceEvent,
+    ResilienceEventKind,
+    ResilienceLog,
+    RetryPolicy,
+    perform_fault,
+    task_digest,
+)
 from repro.traixroute.detector import CorpusDetectionIndex, IXPCrossing, PrivateAdjacency
 
 #: One recorded ``ensure``/``classify`` call — heterogeneous by design (the
@@ -633,6 +654,28 @@ class PipelineEngine:
     revision recreates the process pool on the next run — the workers'
     snapshots would otherwise answer for stale data; direct raw mutation of
     the inputs is (exactly as for the caches) not detected.
+
+    **Failure semantics** (:mod:`repro.resilience`).  Every per-IXP task
+    is governed by ``retry_policy``: a failed attempt is retried after a
+    capped exponential backoff whose jitter derives deterministically from
+    the task digest — no wall clock, no RNG; the sleep goes through the
+    injectable ``sleep``, like the phase ``clock``.  A
+    ``BrokenProcessPool`` retires the broken pool, rebuilds it and
+    resubmits only the unfinished tasks, each charged one attempt so a
+    task that keeps killing workers exhausts the policy
+    (:class:`WorkerCrashError`) instead of looping.  ``task_timeout_s``
+    bounds every result wait; a timeout retires the hung pool and demotes
+    the *current run* one rung down the cascade ``process -> thread ->
+    serial`` (``ExecutorDegradedWarning`` — the next run starts back at
+    the configured executor), or raises :class:`TaskTimeoutError` once the
+    task's attempts are spent.  Every decision is journalled as a typed
+    :class:`~repro.resilience.ResilienceEvent` surfaced by
+    :meth:`executor_stats` / :meth:`resilience_events`; nothing is silent.
+    Retried and demoted chains store through the same fingerprint keys and
+    their deltas are still absorbed in submission order, so the assembled
+    outcome stays bit-identical to the fault-free serial schedule.
+    ``fault_plan`` injects deterministic faults (crashes, exceptions,
+    pickling failures, hangs) for replayable chaos runs.
     """
 
     def __init__(
@@ -647,6 +690,10 @@ class PipelineEngine:
         max_workers: int | None = None,
         executor: str = "thread",
         clock: Callable[[], float] = time.perf_counter,
+        retry_policy: RetryPolicy | None = None,
+        task_timeout_s: float | None = None,
+        fault_plan: FaultPlan | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.inputs = inputs
         self.delay_model = delay_model or DelayModel()
@@ -667,7 +714,28 @@ class PipelineEngine:
                 f"unknown executor {executor!r}; "
                 "expected 'serial', 'thread' or 'process'")
         self.executor = executor
+        # Eager validation: a bad worker count must fail here, loudly, not
+        # as a late pool failure deep inside the first parallel run.
+        if max_workers is not None and (
+                isinstance(max_workers, bool)
+                or not isinstance(max_workers, int)
+                or max_workers < 1):
+            raise InferenceError(
+                f"max_workers must be a positive int or None, "
+                f"got {max_workers!r}")
         self.max_workers = max_workers
+        if task_timeout_s is not None and not task_timeout_s > 0:
+            raise InferenceError(
+                f"task_timeout_s must be positive, got {task_timeout_s!r}")
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy())
+        self.task_timeout_s = task_timeout_s
+        self.fault_plan = fault_plan
+        # The backoff sleeper is injected like the phase clock: the engine
+        # never calls time.sleep itself (contracts rule 5), and tests can
+        # record the deterministic schedule instead of waiting it out.
+        self._sleep = sleep
+        self._resilience = ResilienceLog()
         # Persistent per-engine pools (the former pool-per-run churn is a
         # counted non-event now): created lazily by the first parallel run,
         # reused by every later one, released by shutdown().  All pool
@@ -675,6 +743,10 @@ class PipelineEngine:
         self._thread_pool: ThreadPoolExecutor | None = None
         self._process_pool: ProcessPoolExecutor | None = None
         self._process_inputs_token: object | None = None
+        # Pools abandoned by crash recovery or timeout demotion: already
+        # shut down (workers terminated) at retirement, parked here so
+        # shutdown() stays idempotent even after breakage.
+        self._retired_pools: list[ProcessPoolExecutor] = []
         self._pools_created = 0
         self._pool_reuses = 0
         self._pool_lock = Lock()
@@ -743,7 +815,7 @@ class PipelineEngine:
                 pool = ProcessPoolExecutor(
                     max_workers=self.max_workers,
                     initializer=_process_worker_init,
-                    initargs=(self.inputs, self.delay_model),
+                    initargs=(self.inputs, self.delay_model, self.fault_plan),
                 )
                 self._process_pool = pool
                 self._process_inputs_token = token
@@ -753,28 +825,50 @@ class PipelineEngine:
             return pool
 
     def executor_stats(self) -> dict[str, object]:
-        """Executor-seam accounting: pool lifecycle, reuse and phase timings."""
+        """Executor-seam accounting: pools, phase timings, resilience events."""
+        resilience: dict[str, object] = {
+            "counts": self._resilience.counts(),
+            "events": self._resilience.snapshot(),
+        }
         with self._pool_lock:
             return {
                 "executor": self.executor,
                 "max_workers": self.max_workers,
+                "task_timeout_s": self.task_timeout_s,
                 "pools_created": self._pools_created,
                 "pool_reuses": self._pool_reuses,
+                "pools_retired": len(self._retired_pools),
                 "thread_pool_live": self._thread_pool is not None,
                 "process_pool_live": self._process_pool is not None,
                 "runs_timed": self._runs_timed,
                 "phase_seconds": dict(self._phase_seconds),
+                "resilience": resilience,
             }
 
+    def resilience_events(self) -> tuple[ResilienceEvent, ...]:
+        """The typed journal of fault-handling decisions, oldest first."""
+        return self._resilience.snapshot()
+
     def shutdown(self) -> None:
-        """Release the engine's persistent executor pools (idempotent)."""
+        """Release the engine's executor pools (idempotent, breakage-safe).
+
+        Live pools are drained with ``wait=True`` outside the pool lock (a
+        broken pool's join returns immediately); pools already retired by
+        crash recovery or timeout demotion were shut down — workers
+        terminated — at retirement and are only dropped here.  Calling
+        :meth:`shutdown` again, or after a failed run, is a no-op.
+        """
         with self._pool_lock:
-            if self._thread_pool is not None:
-                self._thread_pool.shutdown(wait=True)
-                self._thread_pool = None
-            if self._process_pool is not None:
-                self._process_pool.shutdown(wait=True)
-                self._process_pool = None
+            thread_pool = self._thread_pool
+            process_pool = self._process_pool
+            self._thread_pool = None
+            self._process_pool = None
+            self._process_inputs_token = None
+            self._retired_pools = []
+        if thread_pool is not None:
+            thread_pool.shutdown(wait=True)
+        if process_pool is not None:
+            process_pool.shutdown(wait=True)
 
     def __enter__(self) -> PipelineEngine:
         return self
@@ -791,68 +885,77 @@ class PipelineEngine:
         resolver = _KeyResolver(config, ixp_ids, self.inputs)
         cache = self.cache
 
+        # Phase accounting happens in the finally so a run that raises
+        # mid-map still books its elapsed time and, more importantly, never
+        # skips the bookkeeping that keeps shutdown() releasing pools.
         run_started = self._clock()
-        per_ixp = self._map_per_ixp(config, ixp_ids, resolver)
-        map_elapsed = self._clock() - run_started
+        map_elapsed = 0.0
+        try:
+            map_started = self._clock()
+            per_ixp = self._map_per_ixp(config, ixp_ids, resolver)
+            map_elapsed = self._clock() - map_started
 
-        crossings, adjacencies = cast(
-            "tuple[list[IXPCrossing], list[PrivateAdjacency]]",
-            cache.get_or_compute(
-                "traceroute", resolver.key("traceroute"), self._compute_traceroute))
+            crossings, adjacencies = cast(
+                "tuple[list[IXPCrossing], list[PrivateAdjacency]]",
+                cache.get_or_compute(
+                    "traceroute", resolver.key("traceroute"),
+                    self._compute_traceroute))
 
-        step1_deltas = [results.step1_delta for results in per_ixp]
-        step3_deltas = [results.step3_delta for results in per_ixp]
-        feasible: _FeasibleMap = {}
-        for results in per_ixp:
-            feasible.update(results.feasible)
+            step1_deltas = [results.step1_delta for results in per_ixp]
+            step3_deltas = [results.step3_delta for results in per_ixp]
+            feasible: _FeasibleMap = {}
+            for results in per_ixp:
+                feasible.update(results.feasible)
 
-        step4_delta, routers = cast(
-            "tuple[_Delta, list[MultiIXPRouter]]",
-            cache.get_or_compute(
-                "step4", resolver.key("step4"),
-                lambda: self._compute_step4(config, ixp_ids, step1_deltas,
-                                            step3_deltas, crossings)))
-        step5_delta = cast("_Delta", cache.get_or_compute(
-            "step5", resolver.key("step5"),
-            lambda: self._compute_step5(config, ixp_ids, step1_deltas, step3_deltas,
-                                        step4_delta, adjacencies, routers, feasible)))
+            step4_delta, routers = cast(
+                "tuple[_Delta, list[MultiIXPRouter]]",
+                cache.get_or_compute(
+                    "step4", resolver.key("step4"),
+                    lambda: self._compute_step4(config, ixp_ids, step1_deltas,
+                                                step3_deltas, crossings)))
+            step5_delta = cast("_Delta", cache.get_or_compute(
+                "step5", resolver.key("step5"),
+                lambda: self._compute_step5(config, ixp_ids, step1_deltas,
+                                            step3_deltas, step4_delta,
+                                            adjacencies, routers, feasible)))
 
-        # Assembly: replay the deltas in the monolithic step order, so the
-        # final report is bit-identical to the seed single-pass pipeline.
-        report = InferenceReport()
-        for delta in step1_deltas:
-            _replay(report, delta)
-        for delta in step3_deltas:
-            _replay(report, delta)
-        _replay(report, step4_delta)
-        _replay(report, step5_delta)
+            # Assembly: replay the deltas in the monolithic step order, so
+            # the final report is bit-identical to the seed single-pass
+            # pipeline.
+            report = InferenceReport()
+            for delta in step1_deltas:
+                _replay(report, delta)
+            for delta in step3_deltas:
+                _replay(report, delta)
+            _replay(report, step4_delta)
+            _replay(report, step5_delta)
 
-        baseline = InferenceReport()
-        for results in per_ixp:
-            _replay(baseline, results.baseline_delta)
+            baseline = InferenceReport()
+            for results in per_ixp:
+                _replay(baseline, results.baseline_delta)
 
-        rtt_summary = RTTCampaignSummary()
-        for results in per_ixp:
-            rtt_summary.merge_from(results.summary)
+            rtt_summary = RTTCampaignSummary()
+            for results in per_ixp:
+                rtt_summary.merge_from(results.summary)
 
-        with self._pool_lock:
-            self._phase_seconds["per_ixp_map"] += map_elapsed
-            self._phase_seconds["run"] += self._clock() - run_started
-            self._runs_timed += 1
-
-        return PipelineOutcome(
-            ixp_ids=list(ixp_ids),
-            report=report,
-            baseline_report=baseline,
-            rtt_summary=rtt_summary,
-            feasible=feasible,
-            crossings=list(crossings),
-            private_adjacencies=list(adjacencies),
-            multi_ixp_routers=list(routers),
-        )
+            return PipelineOutcome(
+                ixp_ids=list(ixp_ids),
+                report=report,
+                baseline_report=baseline,
+                rtt_summary=rtt_summary,
+                feasible=feasible,
+                crossings=list(crossings),
+                private_adjacencies=list(adjacencies),
+                multi_ixp_routers=list(routers),
+            )
+        finally:
+            with self._pool_lock:
+                self._phase_seconds["per_ixp_map"] += map_elapsed
+                self._phase_seconds["run"] += self._clock() - run_started
+                self._runs_timed += 1
 
     # ------------------------------------------------------------------ #
-    # Per-IXP chains (Steps 1-3 + baseline)
+    # Per-IXP chains (Steps 1-3 + baseline): resilient scheduling
     # ------------------------------------------------------------------ #
     def _map_per_ixp(
         self,
@@ -860,16 +963,257 @@ class PipelineEngine:
         ixp_ids: tuple[str, ...],
         resolver: _KeyResolver,
     ) -> list[_PerIXPResults]:
+        """Schedule every IXP's chain under the run's resilience regime.
+
+        The run starts in the configured executor mode and works in
+        *rounds*: each round submits every still-unfinished task, collects
+        in submission order, and either finishes, queues retries (per
+        :attr:`retry_policy`), recovers a crashed pool, or demotes the
+        mode one rung down the cascade ``process -> thread -> serial``
+        after a task timeout.  The serial round always completes (or
+        exhausts the policy); results are returned in ``ixp_ids`` order so
+        the downstream merge stays the deterministic monolithic one.
+        """
         parallel = (self.executor != "serial"
                     and self.max_workers is not None and self.max_workers > 1
                     and len(ixp_ids) > 1)
-        if parallel and self.executor == "process":
-            return self._map_per_ixp_processes(config, ixp_ids, resolver)
-        if parallel:
-            pool = self._ensure_thread_pool()
-            return list(pool.map(
-                lambda ixp_id: self._per_ixp_chain(config, ixp_id, resolver), ixp_ids))
-        return [self._per_ixp_chain(config, ixp_id, resolver) for ixp_id in ixp_ids]
+        mode = self.executor if parallel else "serial"
+        results: dict[str, _PerIXPResults] = {}
+        pending = list(ixp_ids)
+        if mode == "process":
+            pending = []
+            for ixp_id in ixp_ids:
+                cached = self._cached_per_ixp(ixp_id, resolver)
+                if cached is not None:
+                    results[ixp_id] = cached
+                else:
+                    pending.append(ixp_id)
+        attempts = {ixp_id: 0 for ixp_id in pending}
+        while pending:
+            if mode == "process":
+                mode, pending = self._process_round(
+                    config, pending, attempts, results, resolver)
+            elif mode == "thread":
+                mode, pending = self._thread_round(
+                    config, pending, attempts, results, resolver)
+            else:
+                self._serial_round(config, pending, attempts, results, resolver)
+                pending = []
+        return [results[ixp_id] for ixp_id in ixp_ids]
+
+    def _run_chain_task(
+        self,
+        config: InferenceConfig,
+        ixp_id: str,
+        attempt: int,
+        resolver: _KeyResolver,
+    ) -> _PerIXPResults:
+        """One in-process attempt at one IXP's chain, fault plan first."""
+        plan = self.fault_plan
+        if plan is not None:
+            perform_fault(
+                plan, task_digest(config, ixp_id), attempt, in_worker=False)
+        return self._per_ixp_chain(config, ixp_id, resolver)
+
+    def _retry_backoff(
+        self,
+        config: InferenceConfig,
+        ixp_id: str,
+        attempt: int,
+        error: Exception,
+    ) -> None:
+        """Journal the retry and sleep its deterministic backoff, or re-raise."""
+        if not self.retry_policy.should_retry(attempt):
+            raise error
+        self._resilience.record(ResilienceEvent(
+            kind=ResilienceEventKind.RETRY, context=ixp_id,
+            detail=type(error).__name__, attempt=attempt))
+        self._sleep(
+            self.retry_policy.delay_s(task_digest(config, ixp_id), attempt))
+
+    def _note_timeout(self, ixp_id: str, attempt: int) -> None:
+        """Journal a task timeout; raise once the task's attempts are spent."""
+        self._resilience.record(ResilienceEvent(
+            kind=ResilienceEventKind.TASK_TIMEOUT, context=ixp_id,
+            detail=f"timeout_s={self.task_timeout_s}", attempt=attempt))
+        if not self.retry_policy.should_retry(attempt):
+            raise TaskTimeoutError(
+                f"per-IXP task {ixp_id!r} timed out on attempt {attempt} "
+                f"(task_timeout_s={self.task_timeout_s}) with no retries left")
+
+    def _demote(self, mode: str, reason: str) -> str:
+        """One rung down the cascade, journalled and warned — never silent."""
+        demoted = {"process": "thread", "thread": "serial"}[mode]
+        self._resilience.record(ResilienceEvent(
+            kind=ResilienceEventKind.EXECUTOR_DEMOTION, context="scheduler",
+            detail=f"{mode}->{demoted}: {reason}"))
+        warnings.warn(
+            ExecutorDegradedWarning(
+                f"per-IXP executor demoted {mode} -> {demoted} ({reason})"),
+            stacklevel=2)
+        return demoted
+
+    def _retire_process_pool(self) -> None:
+        """Abandon the live process pool (broken, or hosting a hung task).
+
+        The pool is shut down without waiting, its worker processes are
+        terminated (a hung worker would otherwise sleep on past the run),
+        and the executor object is parked in ``_retired_pools`` so a later
+        :meth:`shutdown` stays idempotent even after breakage.  The next
+        :meth:`_ensure_process_pool` builds a fresh pool.
+        """
+        with self._pool_lock:
+            pool = self._process_pool
+            self._process_pool = None
+            self._process_inputs_token = None
+            if pool is not None:
+                self._retired_pools.append(pool)
+                pool.shutdown(wait=False, cancel_futures=True)
+                workers = getattr(pool, "_processes", None) or {}
+                for process in list(workers.values()):
+                    process.terminate()
+
+    def _crash_recovery(
+        self, unfinished: list[str], attempts: dict[str, int]
+    ) -> tuple[str, list[str]]:
+        """Rebuild after ``BrokenProcessPool``; resubmit unfinished tasks only.
+
+        Every unfinished task is charged one attempt — its in-flight work
+        died with the pool — so a task that keeps crashing its worker
+        exhausts the policy (:class:`WorkerCrashError`) instead of
+        rebuilding forever.  Finished tasks were already absorbed in
+        submission order and are not resubmitted.
+        """
+        for ixp_id in unfinished:
+            attempts[ixp_id] += 1
+            if not self.retry_policy.should_retry(attempts[ixp_id]):
+                self._retire_process_pool()
+                raise WorkerCrashError(
+                    f"worker pool crashed and task {ixp_id!r} exhausted its "
+                    f"{self.retry_policy.max_attempts} attempt(s)")
+        self._resilience.record(ResilienceEvent(
+            kind=ResilienceEventKind.WORKER_CRASH, context="pool",
+            detail=",".join(unfinished)))
+        self._retire_process_pool()
+        self._resilience.record(ResilienceEvent(
+            kind=ResilienceEventKind.POOL_REBUILD, context="pool",
+            detail=f"resubmitting {len(unfinished)} task(s)"))
+        return "process", list(unfinished)
+
+    def _process_round(
+        self,
+        config: InferenceConfig,
+        pending: list[str],
+        attempts: dict[str, int],
+        results: dict[str, _PerIXPResults],
+        resolver: _KeyResolver,
+    ) -> tuple[str, list[str]]:
+        """One submit-and-collect pass over the process pool.
+
+        Shipped chains are absorbed into the parent cache as they are
+        collected — in submission order, never completion order — so the
+        stores happen exactly where the fault-free schedule would have
+        made them.  Returns ``(next mode, still-unfinished tasks)``.
+        """
+        try:
+            pool = self._ensure_process_pool()
+            futures: dict[str, Future[_PerIXPResults]] = {}
+            for ixp_id in pending:
+                futures[ixp_id] = pool.submit(
+                    _process_chain_task,
+                    (config, ixp_id, attempts[ixp_id] + 1))
+        except BrokenExecutor:
+            return self._crash_recovery(list(pending), attempts)
+        retry_queue: list[str] = []
+        for index, ixp_id in enumerate(pending):
+            attempt = attempts[ixp_id] + 1
+            try:
+                shipped = futures[ixp_id].result(timeout=self.task_timeout_s)
+            except FuturesTimeoutError:
+                attempts[ixp_id] = attempt
+                self._note_timeout(ixp_id, attempt)
+                self._retire_process_pool()
+                mode = self._demote("process", f"task {ixp_id!r} timed out")
+                return mode, retry_queue + pending[index:]
+            except BrokenExecutor:
+                return self._crash_recovery(
+                    retry_queue + pending[index:], attempts)
+            except Exception as error:
+                attempts[ixp_id] = attempt
+                self._retry_backoff(config, ixp_id, attempt, error)
+                retry_queue.append(ixp_id)
+            else:
+                attempts[ixp_id] = attempt
+                results[ixp_id] = self._absorb_per_ixp(
+                    ixp_id, resolver, shipped)
+        return "process", retry_queue
+
+    def _thread_round(
+        self,
+        config: InferenceConfig,
+        pending: list[str],
+        attempts: dict[str, int],
+        results: dict[str, _PerIXPResults],
+        resolver: _KeyResolver,
+    ) -> tuple[str, list[str]]:
+        """One submit-and-collect pass over the thread pool.
+
+        Mirrors :meth:`_process_round` minus the crash class (threads
+        cannot die under the scheduler); a timed-out thread keeps running
+        harmlessly — every store it will eventually make is an idempotent
+        ``get_or_compute`` — while the serial round recomputes its task.
+        """
+        pool = self._ensure_thread_pool()
+        futures: dict[str, Future[_PerIXPResults]] = {}
+        for ixp_id in pending:
+            futures[ixp_id] = pool.submit(
+                self._run_chain_task, config, ixp_id,
+                attempts[ixp_id] + 1, resolver)
+        retry_queue: list[str] = []
+        for index, ixp_id in enumerate(pending):
+            attempt = attempts[ixp_id] + 1
+            try:
+                chain = futures[ixp_id].result(timeout=self.task_timeout_s)
+            except FuturesTimeoutError:
+                attempts[ixp_id] = attempt
+                self._note_timeout(ixp_id, attempt)
+                mode = self._demote("thread", f"task {ixp_id!r} timed out")
+                return mode, retry_queue + pending[index:]
+            except Exception as error:
+                attempts[ixp_id] = attempt
+                self._retry_backoff(config, ixp_id, attempt, error)
+                retry_queue.append(ixp_id)
+            else:
+                attempts[ixp_id] = attempt
+                results[ixp_id] = chain
+        return "thread", retry_queue
+
+    def _serial_round(
+        self,
+        config: InferenceConfig,
+        pending: list[str],
+        attempts: dict[str, int],
+        results: dict[str, _PerIXPResults],
+        resolver: _KeyResolver,
+    ) -> None:
+        """Inline execution — the cascade's always-completing last resort.
+
+        No timeout applies (there is nothing left to demote to); failures
+        still retry under the policy until it exhausts.
+        """
+        for ixp_id in pending:
+            while True:
+                attempt = attempts[ixp_id] + 1
+                try:
+                    chain = self._run_chain_task(
+                        config, ixp_id, attempt, resolver)
+                except Exception as error:
+                    attempts[ixp_id] = attempt
+                    self._retry_backoff(config, ixp_id, attempt, error)
+                    continue
+                attempts[ixp_id] = attempt
+                results[ixp_id] = chain
+                break
 
     def _cached_per_ixp(
         self, ixp_id: str, resolver: _KeyResolver
@@ -915,38 +1259,6 @@ class PipelineEngine:
         return _PerIXPResults(step1_delta=step1, summary=summary,
                               step3_delta=step3_delta, feasible=feasible,
                               baseline_delta=baseline)
-
-    def _map_per_ixp_processes(
-        self,
-        config: InferenceConfig,
-        ixp_ids: tuple[str, ...],
-        resolver: _KeyResolver,
-    ) -> list[_PerIXPResults]:
-        """Ship each uncached IXP's chain to the persistent process pool.
-
-        Workers hold their own engine (built from the pickled inputs by the
-        pool initializer) and return a :class:`_PerIXPResults` of replayable
-        deltas — plain picklable tuples.  The parent absorbs each shipped
-        chain into its cache under the serial schedule's keys and returns
-        the chains in ``ixp_ids`` order, so the downstream merge is the
-        deterministic monolithic one.
-        """
-        results: dict[str, _PerIXPResults] = {}
-        pending: list[str] = []
-        for ixp_id in ixp_ids:
-            cached = self._cached_per_ixp(ixp_id, resolver)
-            if cached is not None:
-                results[ixp_id] = cached
-            else:
-                pending.append(ixp_id)
-        if pending:
-            pool = self._ensure_process_pool()
-            shipped_chains = list(pool.map(
-                _process_chain_task,
-                [(config, ixp_id) for ixp_id in pending]))
-            for ixp_id, shipped in zip(pending, shipped_chains):
-                results[ixp_id] = self._absorb_per_ixp(ixp_id, resolver, shipped)
-        return [results[ixp_id] for ixp_id in ixp_ids]
 
     def _per_ixp_chain(
         self, config: InferenceConfig, ixp_id: str, resolver: _KeyResolver
@@ -1067,31 +1379,51 @@ class PipelineEngine:
 # Process-executor worker side
 # --------------------------------------------------------------------- #
 # One serial engine per worker process, built from the pickled inputs by
-# the pool initializer and reused for every task the worker serves.
+# the pool initializer and reused for every task the worker serves.  The
+# fault plan rides in through the same initializer: the injection harness
+# wraps the worker entry point, keyed by task digest, so chaos runs are
+# replayable (see repro.resilience.faultplan).
 _WORKER_ENGINE: PipelineEngine | None = None
+_WORKER_FAULT_PLAN: FaultPlan | None = None
 
 
-def _process_worker_init(inputs: InferenceInputs, delay_model: DelayModel) -> None:
+def _process_worker_init(
+    inputs: InferenceInputs,
+    delay_model: DelayModel,
+    fault_plan: FaultPlan | None = None,
+) -> None:
     """Pool initializer: build the worker's serial engine, warm its geometry.
 
     Runs once per worker process.  The bulk geometry prebuild over the
     vantage-point footprint replaces what would otherwise be thousands of
     lazy scalar memo fills on the worker's first chain.
     """
-    global _WORKER_ENGINE
+    global _WORKER_ENGINE, _WORKER_FAULT_PLAN
     engine = PipelineEngine(inputs, delay_model=delay_model, executor="serial")
     geo_index = engine.geo_index
     if geo_index is not None:
         geo_index.prebuild(inputs.vantage_point_locations())
     _WORKER_ENGINE = engine
+    _WORKER_FAULT_PLAN = fault_plan
 
 
-def _process_chain_task(task: tuple[InferenceConfig, str]) -> _PerIXPResults:
-    """Run one IXP's per-IXP chain inside a worker process."""
+def _process_chain_task(
+    task: tuple[InferenceConfig, str, int],
+) -> _PerIXPResults:
+    """Run one attempt of one IXP's chain inside a worker process."""
     engine = _WORKER_ENGINE
     if engine is None:
         raise InferenceError("process worker used before its initializer ran")
-    config, ixp_id = task
+    config, ixp_id, attempt = task
+    plan = _WORKER_FAULT_PLAN
+    if plan is not None:
+        payload = perform_fault(
+            plan, task_digest(config, ixp_id), attempt, in_worker=True)
+        if payload is not None:
+            # The injected pickling fault: ship the poisoned payload so the
+            # failure fires in the worker's result pickling, exactly where
+            # a genuinely unpicklable result would.
+            return cast(_PerIXPResults, payload)
     resolver = _KeyResolver(config, (ixp_id,), engine.inputs)
     return engine._per_ixp_chain(config, ixp_id, resolver)
 
